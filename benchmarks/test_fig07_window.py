@@ -1,0 +1,45 @@
+"""Fig. 7: effect of the lagged-matrix window B on PR/ROC (S5).
+
+Paper shape: SSA, RSSA and RDAE all peak at mid-to-large windows (B = 200
+at the paper's C ~ 1400; here the series are ~280 observations so the sweep
+covers B in {10..100} with the paper's B < C/2 constraint) and degrade at
+tiny windows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import render_sweep
+
+from conftest import mean_scores
+
+WINDOWS = [10, 20, 50, 100]
+
+
+def sweep(s5):
+    pr = {"SSA": {}, "RSSA": {}, "RDAE": {}}
+    roc = {"SSA": {}, "RSSA": {}, "RDAE": {}}
+    for window in WINDOWS:
+        pr["SSA"][window], roc["SSA"][window] = mean_scores("SSA", s5, window=window)
+        pr["RSSA"][window], roc["RSSA"][window] = mean_scores(
+            "RSSA", s5, window=window
+        )
+        pr["RDAE"][window], roc["RDAE"][window] = mean_scores(
+            "RDAE", s5, window=window
+        )
+    return pr, roc
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_window_sweep(benchmark, s5):
+    pr, roc = benchmark.pedantic(sweep, args=(s5,), rounds=1, iterations=1)
+    print()
+    print(render_sweep(pr, "B", title="Fig. 7a — PR vs window B (S5)"))
+    print(render_sweep(roc, "B", title="Fig. 7b — ROC vs window B (S5)"))
+    for method, curve in roc.items():
+        assert all(np.isfinite(list(curve.values())))
+        # Paper shape: the best window is not the smallest one.
+        best = max(curve, key=curve.get)
+        assert best != WINDOWS[0] or curve[best] - curve[WINDOWS[-1]] < 0.05, (
+            "%s peaked at the smallest window: %s" % (method, curve)
+        )

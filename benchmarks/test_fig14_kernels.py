@@ -1,0 +1,40 @@
+"""Fig. 14: effect of the number of CNN kernels per layer (S5).
+
+Paper shape: slightly better with more kernels, overall insensitive.
+The paper sweeps {32..1024}; the NumPy substrate sweeps {4..32}, preserving
+the relative range.
+"""
+
+import pytest
+
+from repro.eval import render_sweep
+
+from conftest import mean_scores
+
+KERNELS = [4, 8, 16, 32]
+
+
+def sweep(s5):
+    pr = {"RAE": {}, "RDAE": {}}
+    roc = {"RAE": {}, "RDAE": {}}
+    for kernels in KERNELS:
+        pr["RAE"][kernels], roc["RAE"][kernels] = mean_scores(
+            "RAE", s5, kernels=kernels
+        )
+        pr["RDAE"][kernels], roc["RDAE"][kernels] = mean_scores(
+            "RDAE", s5, kernels=kernels
+        )
+    return pr, roc
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_kernel_count_sweep(benchmark, s5):
+    pr, roc = benchmark.pedantic(sweep, args=(s5,), rounds=1, iterations=1)
+    print()
+    print(render_sweep(pr, "kernels", title="Fig. 14a — PR vs #kernels (S5)"))
+    print(render_sweep(roc, "kernels", title="Fig. 14b — ROC vs #kernels (S5)"))
+    for method in ("RAE", "RDAE"):
+        values = list(roc[method].values())
+        assert max(values) - min(values) < 0.25, (
+            "%s too sensitive to kernel count: %s" % (method, roc[method])
+        )

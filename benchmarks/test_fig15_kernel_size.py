@@ -1,0 +1,38 @@
+"""Fig. 15: effect of the CNN kernel size (S5).
+
+Paper shape: slightly better with larger kernels, overall insensitive.
+"""
+
+import pytest
+
+from repro.eval import render_sweep
+
+from conftest import mean_scores
+
+KERNEL_SIZES = [3, 5, 7, 9, 11]
+
+
+def sweep(s5):
+    pr = {"RAE": {}, "RDAE": {}}
+    roc = {"RAE": {}, "RDAE": {}}
+    for size in KERNEL_SIZES:
+        pr["RAE"][size], roc["RAE"][size] = mean_scores(
+            "RAE", s5, kernel_size=size
+        )
+        pr["RDAE"][size], roc["RDAE"][size] = mean_scores(
+            "RDAE", s5, kernel_size=size
+        )
+    return pr, roc
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_kernel_size_sweep(benchmark, s5):
+    pr, roc = benchmark.pedantic(sweep, args=(s5,), rounds=1, iterations=1)
+    print()
+    print(render_sweep(pr, "kernel_size", title="Fig. 15a — PR vs kernel size (S5)"))
+    print(render_sweep(roc, "kernel_size", title="Fig. 15b — ROC vs kernel size (S5)"))
+    for method in ("RAE", "RDAE"):
+        values = list(roc[method].values())
+        assert max(values) - min(values) < 0.25, (
+            "%s too sensitive to kernel size: %s" % (method, roc[method])
+        )

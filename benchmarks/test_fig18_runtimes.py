@@ -1,0 +1,36 @@
+"""Fig. 18: training runtime (seconds/epoch) of the neural methods (S5).
+
+Paper shape (Titan V numbers): RDA 2.1 and RAE 4.2 are the fastest of the
+robust family; RNNAE (121.7) and OMNI (85.4) are slowest due to recursive
+computation; RDAE (34.6) stays competitive.  On the NumPy substrate the
+absolute numbers shrink but the recursive-vs-convolutional ordering holds.
+"""
+
+import pytest
+
+from conftest import fast_detector
+
+METHODS = ["RN", "CNNAE", "RNNAE", "BGAN", "DONUT", "OMNI", "TAE", "RDA",
+           "RAE", "RDAE"]
+
+
+def run(ts):
+    runtimes = {}
+    for method in METHODS:
+        det = fast_detector(method).fit(ts)
+        runtimes[method] = det.seconds_per_epoch
+    return runtimes
+
+
+@pytest.mark.benchmark(group="fig18")
+def test_training_runtimes(benchmark, s5_series):
+    runtimes = benchmark.pedantic(run, args=(s5_series,), rounds=1, iterations=1)
+    print()
+    print("Fig. 18 — seconds/epoch (S5, NumPy substrate):")
+    for method, seconds in sorted(runtimes.items(), key=lambda kv: kv[1]):
+        print("  %-6s %.4f" % (method, seconds))
+    # Paper shape: recursive methods cost more per epoch than convolutional
+    # ones on the same series.
+    assert runtimes["RNNAE"] > runtimes["CNNAE"], runtimes
+    assert runtimes["OMNI"] > runtimes["CNNAE"], runtimes
+    assert all(v > 0 for v in runtimes.values())

@@ -1,0 +1,40 @@
+"""Section V-B testing-runtime claim: scoring is fast enough for streaming.
+
+The paper reports testing runtimes under 0.1 s for all methods, "making
+them applicable to online outlier detection in streaming settings".  This
+benchmark measures the train-once / score-new path (``score_new``) of RAE
+and RDAE on an unseen series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import make_detector
+
+
+def make_series(seed, length=280):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    return (np.sin(2 * np.pi * t / 40)
+            + 0.1 * rng.standard_normal(length))[:, None]
+
+
+@pytest.mark.benchmark(group="latency")
+def test_rae_streaming_latency(benchmark):
+    det = make_detector("RAE", max_iterations=10).fit(make_series(0))
+    unseen = make_series(1)
+    scores = benchmark(det.score_new, unseen)
+    assert scores.shape == (len(unseen),)
+    # The paper's streaming-applicability bound.
+    assert benchmark.stats.stats.mean < 0.1
+
+
+@pytest.mark.benchmark(group="latency")
+def test_rdae_streaming_latency(benchmark):
+    det = make_detector(
+        "RDAE", window=30, max_outer=1, inner_iterations=3, series_iterations=3
+    ).fit(make_series(2))
+    unseen = make_series(3)
+    scores = benchmark(det.score_new, unseen)
+    assert scores.shape == (len(unseen),)
+    assert benchmark.stats.stats.mean < 0.1

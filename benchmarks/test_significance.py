@@ -1,0 +1,29 @@
+"""Section V-B significance study: t-tests of RAE/RDAE vs the baselines.
+
+Paper shape: p-values below 0.005 for both metrics against the
+state-of-the-art.  At benchmark scale (7 datasets, 1 series each) we assert
+the machinery and report the p-values rather than the paper's threshold.
+"""
+
+import pytest
+
+from repro.eval import significance_against_best_baseline
+
+from test_table2_pr import full_suite
+
+
+@pytest.mark.benchmark(group="significance")
+def test_ttest_vs_baselines(benchmark):
+    result = full_suite()
+    tests = benchmark.pedantic(
+        lambda: significance_against_best_baseline(result, proposed=("RAE", "RDAE")),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    for method, versus in tests.items():
+        for baseline, p_value in sorted(versus.items(), key=lambda kv: kv[1]):
+            print("%s vs %-6s p = %.4f" % (method, baseline, p_value))
+    for versus in tests.values():
+        for p_value in versus.values():
+            assert 0.0 <= p_value <= 1.0

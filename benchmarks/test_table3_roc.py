@@ -1,0 +1,27 @@
+"""Table III: overall accuracy (ROC-AUC) of all 17 methods on all 7 datasets.
+
+Paper shape: RAE/RDAE hold the two best averages (0.636 / 0.649); LOF/ISF
+stay competitive on HSS and 2D.  Reuses the suite computed for Table II when
+both benchmarks run in one session.
+"""
+
+import pytest
+
+from repro.eval import render_table
+
+from test_table2_pr import full_suite
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_overall_roc(benchmark):
+    result = benchmark.pedantic(full_suite, rounds=1, iterations=1)
+    print()
+    print(render_table(result, "roc", title="Table III — Overall Accuracy, ROC"))
+    averages = result.averages("roc")
+    ranked = sorted(averages, key=averages.get, reverse=True)
+    print("ROC average ranking:", " > ".join(ranked))
+    assert ranked.index("RDAE") < len(ranked) // 2 or ranked.index("RAE") < len(ranked) // 2, (
+        "neither RAE nor RDAE reached the top half of the ROC averages: %s" % ranked
+    )
+    # ROC of a usable detector should beat coin flipping on average.
+    assert averages["RDAE"] > 0.5 and averages["RAE"] > 0.5

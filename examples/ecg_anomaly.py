@@ -1,0 +1,47 @@
+"""ECG arrhythmia detection: 2-lead electrocardiogram discords.
+
+Run:  python examples/ecg_anomaly.py
+
+Uses the ECG surrogate (quasi-periodic PQRST trains with arrhythmic beats
+and electrode spikes) to show RAE against the classic similarity-based
+discord detector (Matrix Profile) — the two ends of the paper's method
+spectrum — and renders a text "strip chart" of scores around a detected
+anomaly.
+"""
+
+import numpy as np
+
+from repro import RAE
+from repro.baselines import MatrixProfile
+from repro.datasets import load_dataset
+from repro.metrics import pr_auc, roc_auc
+from repro.viz import score_strip
+
+
+def main():
+    dataset = load_dataset("ECG", seed=3, scale=0.12)
+    ts = dataset[0]
+    print(dataset.summary())
+    print("patient series %s: %d observations, %d leads, %d outlier points"
+          % (ts.name, ts.length, ts.dims, ts.labels.sum()))
+
+    rae = RAE(lam=0.1, max_iterations=25)
+    rae_scores = rae.fit_score(ts)
+    mp_scores = MatrixProfile(pattern_size=25).fit_score(ts)
+
+    print()
+    print("%-14s %8s %8s" % ("method", "PR", "ROC"))
+    for name, scores in (("RAE", rae_scores), ("MatrixProfile", mp_scores)):
+        print("%-14s %8.3f %8.3f"
+              % (name, pr_auc(ts.labels, scores), roc_auc(ts.labels, scores)))
+
+    peak = int(np.argmax(rae_scores))
+    print()
+    print("score strip around the strongest RAE detection (t=%d):" % peak)
+    print("  waveform: 'o'   score bar: '#'   true outlier: '!'")
+    print(score_strip(np.asarray(ts.values), rae_scores, ts.labels,
+                      start=max(peak - 15, 0), stop=peak + 15))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Explainability analysis: reproduce the Fig. 1 / Fig. 16 story end to end.
+
+Run:  python examples/explainability_report.py
+
+Fits a robust method (RDAE) and a standard autoencoder (RNNAE) on the same
+contaminated series, then (i) renders both clean series as text sparklines
+so the visual contrast of Fig. 1 is evident, and (ii) quantifies the
+contrast with the post-hoc explainability scores ES_PRM and ES_SSA of
+Section IV.
+"""
+
+import numpy as np
+
+from repro import RDAE
+from repro.baselines import RNNAE
+from repro.explain import analyze_methods
+from repro.metrics import roc_auc
+from repro.tsops import standardize
+from repro.viz import sparkline
+
+
+def make_series(length=500, seed=13):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    values = np.sin(2 * np.pi * t / 50) + 0.15 * rng.standard_normal(length)
+    labels = np.zeros(length, dtype=int)
+    for pos in rng.choice(length, 6, replace=False):
+        values[pos] += rng.choice([-1, 1]) * rng.uniform(4, 7)
+        labels[pos] = 1
+    return values[:, None], labels
+
+
+def main():
+    values, labels = make_series()
+    arr = standardize(values)
+
+    rdae = RDAE(window=50, max_outer=2, inner_iterations=6,
+                series_iterations=6).fit(values)
+    # Train the plain AE to convergence: an under-trained RNNAE outputs an
+    # amplitude-collapsed, near-flat reconstruction that trivially games the
+    # RMSE-based scores — the paper's "framework C" pathology (Fig. 5d).
+    rnnae = RNNAE(epochs=25, hidden=32).fit(values)
+
+    print("input series          |%s|" % sparkline(arr, 100))
+    print("RDAE clean series T_L |%s|" % sparkline(rdae.clean_series, 100))
+    from repro.explain import extract_clean_series
+
+    rnnae_clean = extract_clean_series(rnnae, values)
+    print("RNNAE reconstruction  |%s|" % sparkline(rnnae_clean, 100))
+
+    print()
+    print("accuracy (ROC): RDAE %.3f, RNNAE %.3f" % (
+        roc_auc(labels, rdae.score(values)),
+        roc_auc(labels, rnnae.fit_score(values)),
+    ))
+
+    report = analyze_methods(
+        {"RDAE": rdae, "RNNAE": rnnae}, values, gamma_prm=0.5, gamma_ssa=0.15
+    )
+    print()
+    print("post-hoc explainability (smaller N = simpler clean series):")
+    for name, entry in report.scores.items():
+        print("  %-6s ES_PRM=%-4s ES_SSA=%-4s" % (
+            name,
+            entry["ES_PRM"] if entry["ES_PRM"] is not None else ">9",
+            entry["ES_SSA"] if entry["ES_SSA"] is not None else ">9",
+        ))
+    print("  PHE-PRM RMSE curves (N: RMSE):")
+    for name, curve in report.prm_curves.items():
+        pretty = ", ".join("%d: %.3f" % (n, curve[n]) for n in sorted(curve))
+        print("    %-6s %s" % (name, pretty))
+    print()
+    print("ranking (most explainable first): %s"
+          % " > ".join(report.ranking("ES_PRM")))
+
+
+if __name__ == "__main__":
+    main()

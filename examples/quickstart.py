@@ -1,0 +1,62 @@
+"""Quickstart: detect outliers in a time series with RAE and RDAE.
+
+Run:  python examples/quickstart.py
+
+Builds a small seasonal series with planted anomalies, fits the two
+frameworks from the paper, prints the top-scored observations and the
+threshold-free accuracy metrics, and shows the clean/outlier decomposition
+that makes the methods explainable.
+"""
+
+import numpy as np
+
+from repro import RAE, RDAE
+from repro.metrics import pr_auc, roc_auc
+
+
+def make_series(length=400, period=40, seed=7):
+    """Seasonal signal + noise with three point and one collective outlier."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    values = np.sin(2 * np.pi * t / period) + 0.1 * rng.standard_normal(length)
+    labels = np.zeros(length, dtype=int)
+    for pos in (90, 210, 330):
+        values[pos] += rng.choice([-1, 1]) * rng.uniform(4, 6)
+        labels[pos] = 1
+    values[150:160] += 2.5  # a level-shift segment
+    labels[150:160] = 1
+    return values[:, None], labels
+
+
+def main():
+    values, labels = make_series()
+    print("series: %d observations, %d labelled outliers" % (len(values), labels.sum()))
+
+    for detector in (
+        RAE(lam=0.1, max_iterations=25),
+        RDAE(window=40, max_outer=3, inner_iterations=6, series_iterations=6),
+    ):
+        scores = detector.fit_score(values)
+        print()
+        print("%s:" % detector.name)
+        print("  PR-AUC  = %.3f" % pr_auc(labels, scores))
+        print("  ROC-AUC = %.3f" % roc_auc(labels, scores))
+        top = np.argsort(-scores)[:5]
+        print("  top-5 scored positions: %s" % sorted(top.tolist()))
+        clean = detector.clean_series
+        outlier = detector.outlier_series
+        print(
+            "  decomposition: T = T_L + T_S with %d/%d non-zero outlier entries"
+            % (np.count_nonzero(outlier), outlier.size)
+        )
+        print(
+            "  clean-series roughness (mean |diff|): %.3f vs input %.3f"
+            % (
+                np.abs(np.diff(clean[:, 0])).mean(),
+                np.abs(np.diff(values[:, 0])).mean(),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

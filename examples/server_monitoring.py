@@ -1,0 +1,61 @@
+"""Server-workload monitoring: the paper's motivating S5/KPI scenario.
+
+Run:  python examples/server_monitoring.py
+
+Generates a Yahoo-S5-style service-workload series (seasonal pattern, mild
+trend, sparse incidents), compares RDAE against representative baselines
+from each family (density: LOF; decomposition: SSA; deep: CNN autoencoder),
+and prints a small leaderboard plus per-incident detection detail.
+"""
+
+import numpy as np
+
+from repro import RDAE
+from repro.baselines import CNNAE, LOF, SSADetector
+from repro.datasets import load_dataset
+from repro.metrics import best_f1, pr_auc, roc_auc
+
+
+def main():
+    dataset = load_dataset("S5", seed=11, scale=0.25, num_series=3)
+    print(dataset.summary())
+
+    detectors = {
+        "RDAE": lambda: RDAE(window=40, max_outer=2, inner_iterations=5,
+                             series_iterations=5),
+        "LOF": lambda: LOF(n_neighbors=20, context=3),
+        "SSA": lambda: SSADetector(n_components=3),
+        "CNNAE": lambda: CNNAE(epochs=10),
+    }
+
+    print()
+    print("%-8s %8s %8s %8s" % ("method", "PR", "ROC", "bestF1"))
+    leaderboard = {}
+    for name, factory in detectors.items():
+        prs, rocs, f1s = [], [], []
+        for ts in dataset:
+            if ts.labels.sum() == 0:
+                continue
+            scores = factory().fit_score(ts)
+            prs.append(pr_auc(ts.labels, scores))
+            rocs.append(roc_auc(ts.labels, scores))
+            f1s.append(best_f1(ts.labels, scores))
+        leaderboard[name] = (np.mean(prs), np.mean(rocs), np.mean(f1s))
+        print("%-8s %8.3f %8.3f %8.3f" % (name, *leaderboard[name]))
+
+    # Per-incident drill-down with RDAE on the first series.
+    ts = dataset[0]
+    detector = detectors["RDAE"]()
+    scores = detector.fit_score(ts)
+    incidents = np.flatnonzero(ts.labels)
+    if incidents.size:
+        print()
+        print("RDAE per-incident detail (series %s):" % ts.name)
+        threshold = np.quantile(scores, 0.99)
+        for pos in incidents:
+            flag = "DETECTED" if scores[pos] > threshold else "missed"
+            print("  t=%-5d score=%8.4f  %s" % (pos, scores[pos], flag))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: Robust and Explainable Autoencoders for Unsupervised Time Series
+Outlier Detection (Kieu et al., ICDE 2022) — a full reproduction.
+
+Public API highlights
+---------------------
+* :class:`repro.core.RAE` / :class:`repro.core.RDAE` — the paper's methods.
+* :mod:`repro.baselines` — the 15 comparison methods plus RSSA.
+* :mod:`repro.explain` — post-hoc explainability scores (ES_PRM, ES_SSA).
+* :mod:`repro.datasets` — seeded surrogates for the 7 evaluation datasets.
+* :mod:`repro.eval` — the unsupervised median-of-random-search protocol,
+  suite runner and table renderers.
+* :mod:`repro.nn` / :mod:`repro.rpca` / :mod:`repro.tsops` — the substrates
+  (NumPy autograd + layers, Robust PCA, Hankel/SSA/STL machinery).
+"""
+
+from . import baselines, core, datasets, eval, explain, metrics, nn, rpca, tsops, viz
+from .core import NRAE, NRDAE, RAE, RDAE
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RAE",
+    "RDAE",
+    "NRAE",
+    "NRDAE",
+    "nn",
+    "rpca",
+    "tsops",
+    "datasets",
+    "baselines",
+    "core",
+    "explain",
+    "metrics",
+    "eval",
+    "viz",
+    "__version__",
+]

@@ -1,0 +1,48 @@
+"""The paper's 15 comparison methods plus RSSA (Section V-A)."""
+
+from .base import BaseDetector, WindowedDetector, as_series
+from .beatgan import BeatGAN
+from .cnnae import CNNAE
+from .donut import Donut
+from .hotsax import HotSAX, sax_word
+from .isolation_forest import IsolationForest
+from .lof import LOF
+from .matrix_profile import MatrixProfile, mass_distance_profile, matrix_profile_1d
+from .neural import NeuralWindowDetector
+from .ocsvm import OneClassSVM
+from .omni import OmniAnomaly
+from .randnet import RandNet
+from .rda import RDA
+from .rnnae import RNNAE
+from .rssa_detector import RSSADetector
+from .series2graph import Series2Graph
+from .smoothers import EMADetector, SSADetector, STLDetector
+from .tae import TransformerAE
+
+__all__ = [
+    "BaseDetector",
+    "WindowedDetector",
+    "NeuralWindowDetector",
+    "as_series",
+    "OneClassSVM",
+    "LOF",
+    "IsolationForest",
+    "EMADetector",
+    "STLDetector",
+    "SSADetector",
+    "MatrixProfile",
+    "HotSAX",
+    "sax_word",
+    "Series2Graph",
+    "mass_distance_profile",
+    "matrix_profile_1d",
+    "RandNet",
+    "CNNAE",
+    "RNNAE",
+    "BeatGAN",
+    "Donut",
+    "OmniAnomaly",
+    "TransformerAE",
+    "RDA",
+    "RSSADetector",
+]

@@ -1,0 +1,85 @@
+"""Common detector API.
+
+Every method in the paper — the 15 baselines of Section V-A, the RSSA
+variant, and the proposed RAE/RDAE — exposes the same unsupervised
+interface: ``fit`` on an unlabelled series, ``score`` returning one outlier
+score per observation (higher = more anomalous).  Evaluation is transductive
+(Section V-A trains on the contaminated series itself), so ``fit_score`` is
+the primary entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tsops import overlap_average, sliding_windows, standardize
+
+__all__ = ["BaseDetector", "WindowedDetector", "as_series"]
+
+
+def as_series(series):
+    """Coerce input (TimeSeries, 1D or 2D array) to a float ``(C, D)`` array."""
+    values = getattr(series, "values", series)
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError("series must be 1D or 2D, got %dD" % arr.ndim)
+    if arr.shape[0] < 2:
+        raise ValueError("series must contain at least 2 observations")
+    return arr
+
+
+class BaseDetector:
+    """Abstract unsupervised time series outlier detector."""
+
+    name = "base"
+
+    def fit(self, series):
+        """Fit on an unlabelled ``(C, D)`` series; returns ``self``."""
+        raise NotImplementedError
+
+    def score(self, series):
+        """Per-observation outlier scores ``(C,)`` — higher is more anomalous."""
+        raise NotImplementedError
+
+    def fit_score(self, series):
+        """Fit and score the same series (the paper's transductive protocol)."""
+        return self.fit(series).score(series)
+
+    def __repr__(self):
+        params = ", ".join(
+            "%s=%r" % (k, v)
+            for k, v in sorted(vars(self).items())
+            if not k.startswith("_") and np.isscalar(v)
+        )
+        return "%s(%s)" % (type(self).__name__, params)
+
+
+class WindowedDetector(BaseDetector):
+    """Shared plumbing for detectors that operate on sliding windows.
+
+    Handles standardisation, windowing, and mapping per-window/per-position
+    scores back onto observations by overlap averaging.
+    """
+
+    def __init__(self, window=32, stride=None):
+        self.window = int(window)
+        self.stride = int(stride) if stride is not None else max(1, self.window // 4)
+
+    def _prepare(self, series):
+        arr = standardize(as_series(series))
+        width = min(self.window, arr.shape[0])
+        windows, starts = sliding_windows(arr, width, self.stride)
+        return arr, windows, starts, width
+
+    def _to_observation_scores(self, per_position, starts, width, length):
+        """Map ``(num_windows, width)`` position scores to ``(length,)``."""
+        return overlap_average(per_position, starts, width, length)
+
+    def _window_scores_to_observations(self, per_window, starts, width, length):
+        """Broadcast one score per window onto every position it covers."""
+        per_position = np.repeat(
+            np.asarray(per_window, dtype=np.float64)[:, None], width, axis=1
+        )
+        return overlap_average(per_position, starts, width, length)

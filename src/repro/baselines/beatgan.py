@@ -1,0 +1,109 @@
+"""BeatGAN (Zhou et al., IJCAI 2019): adversarially-regularised autoencoder.
+
+A 1D-CNN encoder-decoder generator reconstructs windows while a 1D-CNN
+discriminator is trained to tell real windows from reconstructions; the
+generator receives an adversarial feature-matching term on top of the
+reconstruction loss.  Scoring uses the reconstruction error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .neural import NeuralWindowDetector
+
+__all__ = ["BeatGAN"]
+
+
+class _ConvGenerator(nn.Module):
+    def __init__(self, dims, width, kernels, kernel_size, rng):
+        super().__init__()
+        self.encoder = nn.Sequential(
+            nn.Conv1d(dims, kernels, kernel_size, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool1d(2),
+            nn.Conv1d(kernels, kernels // 2, kernel_size, rng=rng),
+            nn.ReLU(),
+        )
+        self.decoder = nn.Sequential(
+            nn.Conv1d(kernels // 2, kernels, kernel_size, rng=rng),
+            nn.ReLU(),
+            nn.Upsample1d(2, size=width),
+            nn.Conv1d(kernels, dims, kernel_size, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.decoder(self.encoder(x))
+
+
+class _ConvDiscriminator(nn.Module):
+    def __init__(self, dims, width, kernels, kernel_size, rng):
+        super().__init__()
+        self.features = nn.Sequential(
+            nn.Conv1d(dims, kernels, kernel_size, rng=rng),
+            nn.LeakyReLU(0.2),
+            nn.MaxPool1d(2),
+            nn.Conv1d(kernels, kernels, kernel_size, rng=rng),
+            nn.LeakyReLU(0.2),
+        )
+        self.head = nn.Linear(kernels, 1, rng=rng)
+
+    def feature_map(self, x):
+        return self.features(x).mean(axis=2)
+
+    def forward(self, x):
+        return self.head(self.feature_map(x))
+
+
+class BeatGAN(NeuralWindowDetector):
+    """Adversarial window autoencoder (scores = reconstruction error).
+
+    ``adversarial_weight`` scales the feature-matching term added to the
+    generator's reconstruction loss.
+    """
+
+    name = "BGAN"
+
+    def __init__(self, window=32, stride=None, kernels=16, kernel_size=3,
+                 adversarial_weight=0.1, epochs=20, lr=1e-3, batch_size=32,
+                 seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.kernels = max(int(kernels), 2)
+        self.kernel_size = int(kernel_size)
+        self.adversarial_weight = float(adversarial_weight)
+
+    def _build(self, width, dims, rng):
+        self._discriminator = _ConvDiscriminator(
+            dims, width, self.kernels, self.kernel_size, rng
+        )
+        self._d_optimizer = nn.Adam(self._discriminator.parameters(), lr=self.lr)
+        return _ConvGenerator(dims, width, self.kernels, self.kernel_size, rng)
+
+    def _reconstruct(self, model, batch):
+        # Windows arrive as (N, width, D); conv layers want (N, D, width).
+        recon = model(batch.transpose(0, 2, 1))
+        return recon.transpose(0, 2, 1)
+
+    def _batch_loss(self, model, batch):
+        recon = self._reconstruct(model, batch)
+        real = batch.transpose(0, 2, 1)
+        fake = recon.transpose(0, 2, 1)
+
+        # Discriminator step: real -> 1, reconstruction -> 0.
+        self._d_optimizer.zero_grad()
+        logits_real = self._discriminator(real.detach())
+        logits_fake = self._discriminator(nn.Tensor(fake.data))
+        d_loss = nn.bce_with_logits(
+            logits_real, np.ones(logits_real.shape)
+        ) + nn.bce_with_logits(logits_fake, np.zeros(logits_fake.shape))
+        d_loss.backward()
+        self._d_optimizer.step()
+
+        # Generator step: reconstruction + feature matching.
+        recon_loss = nn.mse_loss(recon, batch.data)
+        feat_real = self._discriminator.feature_map(nn.Tensor(real.data))
+        feat_fake = self._discriminator.feature_map(fake)
+        matching = nn.mse_loss(feat_fake, feat_real.data)
+        return recon_loss + self.adversarial_weight * matching

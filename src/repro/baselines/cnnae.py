@@ -1,0 +1,88 @@
+"""CNN autoencoder baseline (Kieu et al., MDM 2018).
+
+The original treats windows of a time series as images fed to a 2D CNN
+autoencoder.  We fold each window of ``width`` observations into a
+``(fold, width / fold)`` image with one channel per series dimension, apply
+a conv/pool encoder and an upsample/conv decoder, and unfold back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .neural import NeuralWindowDetector
+
+__all__ = ["CNNAE"]
+
+
+class _Conv2dAE(nn.Module):
+    def __init__(self, channels, height, width, kernels, kernel_size, rng):
+        super().__init__()
+        self.encoder = nn.Sequential(
+            nn.Conv2d(channels, kernels, kernel_size, rng=rng),
+            nn.ReLU(),
+            nn.MaxPool2d(2),
+            nn.Conv2d(kernels, kernels // 2, kernel_size, rng=rng),
+            nn.ReLU(),
+        )
+        self.decoder = nn.Sequential(
+            nn.Conv2d(kernels // 2, kernels, kernel_size, rng=rng),
+            nn.ReLU(),
+            nn.Upsample2d(2, size=(height, width)),
+            nn.Conv2d(kernels, channels, kernel_size, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.decoder(self.encoder(x))
+
+
+class CNNAE(NeuralWindowDetector):
+    """2D-CNN window autoencoder.
+
+    Parameters
+    ----------
+    fold: rows of the image each window is folded into; the window is
+        padded (by repetition of the last frame) to a multiple of ``fold``.
+    kernels: feature maps in the widest layer (paper sweeps {32..1024}).
+    kernel_size: square conv kernel (paper sweeps {3..11}).
+    """
+
+    name = "CNNAE"
+
+    def __init__(self, window=32, stride=None, fold=4, kernels=16,
+                 kernel_size=3, epochs=20, lr=1e-3, batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.fold = int(fold)
+        self.kernels = max(int(kernels), 2)
+        self.kernel_size = int(kernel_size)
+
+    def _image_shape(self, width):
+        rows = max(min(self.fold, width // 2), 1)
+        cols = int(np.ceil(width / rows))
+        return rows, cols
+
+    def _to_image(self, batch):
+        """(N, width, D) Tensor -> (N, D, rows, cols) with tail padding."""
+        n, width, dims = batch.shape
+        rows, cols = self._image_shape(width)
+        pad = rows * cols - width
+        if pad:
+            tail = batch[:, width - 1 : width, :]
+            pieces = [batch] + [tail] * pad
+            batch = nn.concatenate(pieces, axis=1)
+        return batch.transpose(0, 2, 1).reshape(n, dims, rows, cols)
+
+    def _from_image(self, image, width):
+        n, dims, rows, cols = image.shape
+        flat = image.reshape(n, dims, rows * cols)[:, :, :width]
+        return flat.transpose(0, 2, 1)
+
+    def _build(self, width, dims, rng):
+        rows, cols = self._image_shape(width)
+        return _Conv2dAE(dims, rows, cols, self.kernels, self.kernel_size, rng)
+
+    def _reconstruct(self, model, batch):
+        width = batch.shape[1]
+        return self._from_image(model(self._to_image(batch)), width)

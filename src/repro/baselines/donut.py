@@ -1,0 +1,116 @@
+"""Donut (Xu et al., WWW 2018): variational autoencoder for seasonal KPIs.
+
+A fully-connected VAE over flattened windows: the encoder emits the mean and
+log-variance of a diagonal Gaussian latent, a reparameterised sample is
+decoded to a per-position Gaussian over the window, and training maximises
+the evidence lower bound.  The outlier score is the Monte-Carlo
+reconstruction negative log-likelihood per position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .neural import NeuralWindowDetector
+
+__all__ = ["Donut"]
+
+
+class _VAE(nn.Module):
+    def __init__(self, input_dim, hidden, latent, rng):
+        super().__init__()
+        self.enc = nn.Sequential(
+            nn.Linear(input_dim, hidden, rng=rng), nn.ReLU(),
+            nn.Linear(hidden, hidden, rng=rng), nn.ReLU(),
+        )
+        self.enc_mu = nn.Linear(hidden, latent, rng=rng)
+        self.enc_logvar = nn.Linear(hidden, latent, rng=rng)
+        self.dec = nn.Sequential(
+            nn.Linear(latent, hidden, rng=rng), nn.ReLU(),
+            nn.Linear(hidden, hidden, rng=rng), nn.ReLU(),
+        )
+        self.dec_mu = nn.Linear(hidden, input_dim, rng=rng)
+        self.dec_logvar = nn.Linear(hidden, input_dim, rng=rng)
+
+    def encode(self, x):
+        h = self.enc(x)
+        return self.enc_mu(h), self.enc_logvar(h).clip_value(-8.0, 8.0)
+
+    def decode(self, z):
+        h = self.dec(z)
+        return self.dec_mu(h), self.dec_logvar(h).clip_value(-8.0, 8.0)
+
+
+class Donut(NeuralWindowDetector):
+    """Window VAE with stochastic latent space.
+
+    Parameters
+    ----------
+    hidden: encoder/decoder width (paper's "number of hidden units").
+    latent: stochastic latent size (paper's "stochastic latent variable size").
+    mc_samples: Monte-Carlo samples for both training and scoring.
+    kl_weight: weight of the KL term in the negative ELBO.
+    """
+
+    name = "DONUT"
+
+    def __init__(self, window=32, stride=None, hidden=64, latent=8,
+                 mc_samples=4, kl_weight=1.0, epochs=20, lr=1e-3,
+                 batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.hidden = int(hidden)
+        self.latent = int(latent)
+        self.mc_samples = int(mc_samples)
+        self.kl_weight = float(kl_weight)
+        self._noise_rng = np.random.default_rng(seed)
+
+    def _build(self, width, dims, rng):
+        return _VAE(width * dims, self.hidden, self.latent, rng)
+
+    def _flatten(self, batch):
+        n = batch.shape[0]
+        return batch.reshape(n, batch.shape[1] * batch.shape[2])
+
+    def _sample(self, mu, logvar):
+        noise = nn.Tensor(self._noise_rng.standard_normal(mu.shape))
+        return mu + (logvar * 0.5).exp() * noise
+
+    def _batch_loss(self, model, batch):
+        flat = self._flatten(batch)
+        mu_z, logvar_z = model.encode(flat)
+        recon = 0.0
+        for __ in range(self.mc_samples):
+            z = self._sample(mu_z, logvar_z)
+            mu_x, logvar_x = model.decode(z)
+            recon = recon + nn.gaussian_nll(mu_x, logvar_x, flat.data)
+        recon = recon * (1.0 / self.mc_samples)
+        kl = nn.kl_diag_gaussian(mu_z, logvar_z)
+        return recon + self.kl_weight * kl
+
+    def _position_errors(self, model, windows):
+        n, width, dims = windows.shape
+        flat = windows.reshape(n, width * dims)
+        with nn.no_grad():
+            mu_z, logvar_z = model.encode(nn.Tensor(flat))
+            nll = np.zeros((n, width * dims))
+            for __ in range(self.mc_samples):
+                z = self._sample(mu_z, logvar_z)
+                mu_x, logvar_x = model.decode(z)
+                var = np.exp(logvar_x.data)
+                nll += 0.5 * (
+                    logvar_x.data
+                    + (flat - mu_x.data) ** 2 / var
+                    + np.log(2 * np.pi)
+                )
+        nll /= self.mc_samples
+        return nll.reshape(n, width, dims).sum(axis=2)
+
+    def _reconstruct(self, model, batch):
+        """Mean reconstruction (used by the explainability analysis)."""
+        flat = self._flatten(batch)
+        mu_z, __ = model.encode(flat)
+        mu_x, __ = model.decode(mu_z)
+        n = batch.shape[0]
+        return mu_x.reshape(n, batch.shape[1], batch.shape[2])

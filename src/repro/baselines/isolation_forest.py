@@ -1,0 +1,116 @@
+"""Isolation Forest (Liu, Ting & Zhou, ICDM 2008), from scratch.
+
+Outliers are isolated by fewer random axis-parallel splits; the anomaly
+score is ``2^(-E[h(x)] / c(psi))`` where ``h`` is the path length in a tree
+grown on a subsample of size ``psi``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseDetector, as_series
+from ..tsops import standardize
+
+__all__ = ["IsolationForest"]
+
+
+def _average_path_length(n):
+    """Expected unsuccessful-search path length in a BST of ``n`` points."""
+    n = np.asarray(n, dtype=np.float64)
+    out = np.zeros_like(n)
+    mask = n > 2
+    harmonic = np.log(np.maximum(n - 1, 1)) + np.euler_gamma
+    out[mask] = 2.0 * harmonic[mask] - 2.0 * (n[mask] - 1) / n[mask]
+    out[n == 2] = 1.0
+    return out
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "size")
+
+    def __init__(self, feature=None, threshold=None, left=None, right=None, size=0):
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.size = size
+
+
+def _grow(points, depth, max_depth, rng):
+    n = points.shape[0]
+    if depth >= max_depth or n <= 1:
+        return _Node(size=n)
+    spans = points.max(axis=0) - points.min(axis=0)
+    candidates = np.flatnonzero(spans > 0)
+    if candidates.size == 0:
+        return _Node(size=n)
+    feature = int(rng.choice(candidates))
+    lo, hi = points[:, feature].min(), points[:, feature].max()
+    threshold = rng.uniform(lo, hi)
+    mask = points[:, feature] < threshold
+    return _Node(
+        feature=feature,
+        threshold=threshold,
+        left=_grow(points[mask], depth + 1, max_depth, rng),
+        right=_grow(points[~mask], depth + 1, max_depth, rng),
+        size=n,
+    )
+
+
+def _path_length(node, point, depth=0):
+    while node.feature is not None:
+        node = node.left if point[node.feature] < node.threshold else node.right
+        depth += 1
+    return depth + float(_average_path_length(np.array([node.size]))[0])
+
+
+class IsolationForest(BaseDetector):
+    """Tree-ensemble isolation scoring on (optionally context-embedded) points.
+
+    Parameters
+    ----------
+    n_trees: paper sweeps the number of base models {5..500}; default 100.
+    subsample: per-tree subsample size psi (classic default 256).
+    context: past observations appended to each point (1 = raw observations).
+    """
+
+    name = "ISF"
+
+    def __init__(self, n_trees=100, subsample=256, context=1, seed=0):
+        self.n_trees = int(n_trees)
+        self.subsample = int(subsample)
+        self.context = int(context)
+        self.seed = seed
+        self._trees = []
+
+    def _embed(self, arr):
+        if self.context <= 1:
+            return arr
+        pads = [np.roll(arr, s, axis=0) for s in range(self.context)]
+        for s in range(1, self.context):
+            pads[s][:s] = arr[0]
+        return np.concatenate(pads, axis=1)
+
+    def fit(self, series):
+        points = self._embed(standardize(as_series(series)))
+        rng = np.random.default_rng(self.seed)
+        psi = min(self.subsample, points.shape[0])
+        max_depth = int(np.ceil(np.log2(max(psi, 2))))
+        self._trees = []
+        for __ in range(self.n_trees):
+            idx = rng.choice(points.shape[0], psi, replace=False)
+            self._trees.append(_grow(points[idx], 0, max_depth, rng))
+        self._psi = psi
+        return self
+
+    def score(self, series):
+        if not self._trees:
+            raise RuntimeError("fit before score")
+        points = self._embed(standardize(as_series(series)))
+        c_norm = float(_average_path_length(np.array([self._psi]))[0]) or 1.0
+        depths = np.empty((points.shape[0], len(self._trees)))
+        for j, tree in enumerate(self._trees):
+            for i, p in enumerate(points):
+                depths[i, j] = _path_length(tree, p)
+        return 2.0 ** (-depths.mean(axis=1) / c_norm)

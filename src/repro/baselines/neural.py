@@ -1,0 +1,110 @@
+"""Shared training loop for neural window-reconstruction detectors.
+
+All the paper's neural baselines (CNNAE, RNNAE, BeatGAN, Donut, OmniAnomaly,
+TAE, RandNet) follow one recipe: cut the standardised series into sliding
+windows, train an autoencoder to reconstruct windows, and score each
+observation with the averaged per-position reconstruction error of every
+window covering it.  This module implements that recipe once; subclasses
+supply the network and, if needed, a custom loss / scoring rule.
+
+Per-epoch wall-clock time is recorded in ``epoch_seconds_`` to reproduce the
+runtime comparison of Fig. 18.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from .base import WindowedDetector
+
+__all__ = ["NeuralWindowDetector"]
+
+
+class NeuralWindowDetector(WindowedDetector):
+    """Base class: windowed autoencoder trained with Adam.
+
+    Parameters
+    ----------
+    window, stride: sliding-window geometry.
+    epochs: training epochs over all windows.
+    lr: Adam learning rate.
+    batch_size: minibatch size (windows per step).
+    seed: seeds both parameter init and batch shuffling.
+    """
+
+    name = "neural"
+
+    def __init__(self, window=32, stride=None, epochs=20, lr=1e-3,
+                 batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.seed = seed
+        self.model_ = None
+        self.epoch_seconds_ = []
+        self.loss_history_ = []
+
+    # -- hooks ---------------------------------------------------------- #
+    def _build(self, width, dims, rng):
+        """Return the model (an ``nn.Module``) for windows ``(width, dims)``."""
+        raise NotImplementedError
+
+    def _batch_loss(self, model, batch):
+        """Training loss for a ``(N, width, dims)`` Tensor batch."""
+        return nn.mse_loss(self._reconstruct(model, batch), batch.data)
+
+    def _reconstruct(self, model, batch):
+        """Reconstruct a ``(N, width, dims)`` Tensor batch; default: model(batch)."""
+        return model(batch)
+
+    def _position_errors(self, model, windows):
+        """Per-window, per-position anomaly scores ``(N, width)``."""
+        with nn.no_grad():
+            recon = self._reconstruct(model, nn.Tensor(windows)).data
+        return ((windows - recon) ** 2).sum(axis=2)
+
+    # -- training ------------------------------------------------------- #
+    def fit(self, series):
+        arr, windows, starts, width = self._prepare(series)
+        rng = np.random.default_rng(self.seed)
+        self.model_ = self._build(width, arr.shape[1], rng)
+        optimizer = nn.Adam(self.model_.parameters(), lr=self.lr)
+        self.epoch_seconds_ = []
+        self.loss_history_ = []
+        num = windows.shape[0]
+        batch = min(self.batch_size, num)
+        for __ in range(self.epochs):
+            started = time.perf_counter()
+            order = rng.permutation(num)
+            epoch_loss = 0.0
+            steps = 0
+            for lo in range(0, num, batch):
+                idx = order[lo : lo + batch]
+                optimizer.zero_grad()
+                loss = self._batch_loss(self.model_, nn.Tensor(windows[idx]))
+                loss.backward()
+                nn.clip_grad_norm(self.model_.parameters(), 5.0)
+                optimizer.step()
+                epoch_loss += loss.item()
+                steps += 1
+            self.loss_history_.append(epoch_loss / max(steps, 1))
+            self.epoch_seconds_.append(time.perf_counter() - started)
+        return self
+
+    def score(self, series):
+        if self.model_ is None:
+            raise RuntimeError("fit before score")
+        arr, windows, starts, width = self._prepare(series)
+        per_position = self._position_errors(self.model_, windows)
+        return self._to_observation_scores(per_position, starts, width, arr.shape[0])
+
+    @property
+    def seconds_per_epoch(self):
+        """Mean training wall-clock seconds per epoch (Fig. 18 quantity)."""
+        if not self.epoch_seconds_:
+            raise RuntimeError("fit before reading runtimes")
+        return float(np.mean(self.epoch_seconds_))

@@ -1,0 +1,101 @@
+"""OmniAnomaly (Su et al., KDD 2019), simplified: a stochastic recurrent VAE.
+
+An LSTM encoder produces a hidden state per step; each hidden state is
+mapped to the mean/log-variance of a per-step latent; reparameterised
+samples are decoded by a second LSTM into per-step Gaussian reconstruction
+parameters.  The per-step reconstruction NLL is the outlier score, which is
+what gives OmniAnomaly per-observation granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .neural import NeuralWindowDetector
+
+__all__ = ["OmniAnomaly"]
+
+
+class _StochasticRNN(nn.Module):
+    def __init__(self, dims, hidden, latent, rng):
+        super().__init__()
+        self.encoder = nn.LSTM(dims, hidden, rng=rng)
+        self.z_mu = nn.Linear(hidden, latent, rng=rng)
+        self.z_logvar = nn.Linear(hidden, latent, rng=rng)
+        self.decoder = nn.LSTM(latent, hidden, rng=rng)
+        self.x_mu = nn.Linear(hidden, dims, rng=rng)
+        self.x_logvar = nn.Linear(hidden, dims, rng=rng)
+
+    def encode(self, x):
+        states, __ = self.encoder(x)
+        return (
+            self.z_mu(states),
+            self.z_logvar(states).clip_value(-8.0, 8.0),
+        )
+
+    def decode(self, z):
+        states, __ = self.decoder(z)
+        return (
+            self.x_mu(states),
+            self.x_logvar(states).clip_value(-8.0, 8.0),
+        )
+
+
+class OmniAnomaly(NeuralWindowDetector):
+    """Per-step stochastic recurrent autoencoder.
+
+    Parameters mirror :class:`repro.baselines.donut.Donut`, with the latent
+    attached to every timestep instead of the whole window.
+    """
+
+    name = "OMNI"
+
+    def __init__(self, window=32, stride=None, hidden=32, latent=8,
+                 mc_samples=2, kl_weight=1.0, epochs=15, lr=1e-3,
+                 batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.hidden = int(hidden)
+        self.latent = int(latent)
+        self.mc_samples = int(mc_samples)
+        self.kl_weight = float(kl_weight)
+        self._noise_rng = np.random.default_rng(seed)
+
+    def _build(self, width, dims, rng):
+        return _StochasticRNN(dims, self.hidden, self.latent, rng)
+
+    def _sample(self, mu, logvar):
+        noise = nn.Tensor(self._noise_rng.standard_normal(mu.shape))
+        return mu + (logvar * 0.5).exp() * noise
+
+    def _batch_loss(self, model, batch):
+        mu_z, logvar_z = model.encode(batch)
+        recon = 0.0
+        for __ in range(self.mc_samples):
+            z = self._sample(mu_z, logvar_z)
+            mu_x, logvar_x = model.decode(z)
+            recon = recon + nn.gaussian_nll(mu_x, logvar_x, batch.data)
+        recon = recon * (1.0 / self.mc_samples)
+        kl = nn.kl_diag_gaussian(mu_z, logvar_z)
+        return recon + self.kl_weight * kl
+
+    def _position_errors(self, model, windows):
+        with nn.no_grad():
+            mu_z, logvar_z = model.encode(nn.Tensor(windows))
+            nll = np.zeros(windows.shape)
+            for __ in range(self.mc_samples):
+                z = self._sample(mu_z, logvar_z)
+                mu_x, logvar_x = model.decode(z)
+                var = np.exp(logvar_x.data)
+                nll += 0.5 * (
+                    logvar_x.data
+                    + (windows - mu_x.data) ** 2 / var
+                    + np.log(2 * np.pi)
+                )
+        return (nll / self.mc_samples).sum(axis=2)
+
+    def _reconstruct(self, model, batch):
+        mu_z, __ = model.encode(batch)
+        mu_x, __ = model.decode(mu_z)
+        return mu_x

@@ -1,0 +1,135 @@
+"""RandNet (Chen et al., SDM 2017): autoencoder ensembles with randomly
+dropped connections.
+
+Each base model is a fully-connected autoencoder whose weight matrices are
+multiplied by fixed random binary masks (sampled once at construction), so
+every ensemble member sees a different sparse architecture.  The ensemble
+score is the median of the per-member standardised reconstruction errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .base import WindowedDetector
+
+__all__ = ["RandNet"]
+
+
+class _MaskedLinear(nn.Module):
+    """Linear layer with a fixed random connectivity mask."""
+
+    def __init__(self, in_features, out_features, keep_prob, rng):
+        super().__init__()
+        self.inner = nn.Linear(in_features, out_features, rng=rng)
+        mask = (rng.random((in_features, out_features)) < keep_prob).astype(float)
+        # Guarantee every output unit keeps at least one incoming weight.
+        dead = np.flatnonzero(mask.sum(axis=0) == 0)
+        mask[rng.integers(0, in_features, size=dead.size), dead] = 1.0
+        self._mask = mask
+
+    def forward(self, x):
+        masked = self.inner.weight * nn.Tensor(self._mask)
+        return x @ masked + self.inner.bias
+
+
+class _SparseAE(nn.Module):
+    def __init__(self, input_dim, hidden, keep_prob, rng):
+        super().__init__()
+        bottleneck = max(hidden // 4, 2)
+        self.net = nn.Sequential(
+            _MaskedLinear(input_dim, hidden, keep_prob, rng),
+            nn.Tanh(),
+            _MaskedLinear(hidden, bottleneck, keep_prob, rng),
+            nn.Tanh(),
+            _MaskedLinear(bottleneck, hidden, keep_prob, rng),
+            nn.Tanh(),
+            _MaskedLinear(hidden, input_dim, keep_prob, rng),
+        )
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class RandNet(WindowedDetector):
+    """Ensemble of sparsely-connected FC autoencoders on flattened windows.
+
+    Parameters
+    ----------
+    n_models: ensemble size (paper sweeps {5..500}).
+    hidden: widest hidden layer (paper's "number of hidden units").
+    keep_prob: probability a connection survives the random mask.
+    """
+
+    name = "RN"
+
+    def __init__(self, window=32, stride=None, n_models=10, hidden=64,
+                 keep_prob=0.7, epochs=15, lr=1e-3, batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride)
+        self.n_models = int(n_models)
+        self.hidden = int(hidden)
+        self.keep_prob = float(keep_prob)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.seed = seed
+        self.models_ = []
+        self.epoch_seconds_ = []
+
+    def fit(self, series):
+        import time
+
+        arr, windows, starts, width = self._prepare(series)
+        flat = windows.reshape(windows.shape[0], -1)
+        rng = np.random.default_rng(self.seed)
+        self.models_ = []
+        self.epoch_seconds_ = []
+        num = flat.shape[0]
+        batch = min(self.batch_size, num)
+        for __ in range(self.n_models):
+            model = _SparseAE(flat.shape[1], self.hidden, self.keep_prob, rng)
+            optimizer = nn.Adam(model.parameters(), lr=self.lr)
+            for __ in range(self.epochs):
+                started = time.perf_counter()
+                order = rng.permutation(num)
+                for lo in range(0, num, batch):
+                    idx = order[lo : lo + batch]
+                    optimizer.zero_grad()
+                    x = nn.Tensor(flat[idx])
+                    loss = nn.mse_loss(model(x), flat[idx])
+                    loss.backward()
+                    optimizer.step()
+                self.epoch_seconds_.append(time.perf_counter() - started)
+            self.models_.append(model)
+        return self
+
+    def reconstructions(self, series):
+        """Per-member window reconstructions; used for the clean-series view."""
+        arr, windows, starts, width = self._prepare(series)
+        flat = windows.reshape(windows.shape[0], -1)
+        outs = []
+        with nn.no_grad():
+            for model in self.models_:
+                outs.append(model(nn.Tensor(flat)).data.reshape(windows.shape))
+        return np.asarray(outs), starts, width, arr.shape[0]
+
+    def score(self, series):
+        if not self.models_:
+            raise RuntimeError("fit before score")
+        recons, starts, width, length = self.reconstructions(series)
+        arr, windows, __, __ = self._prepare(series)
+        member_scores = []
+        for recon in recons:
+            per_position = ((windows - recon) ** 2).sum(axis=2)
+            obs = self._to_observation_scores(per_position, starts, width, length)
+            # Standardise each member so the median is comparable.
+            obs = (obs - obs.mean()) / max(obs.std(), 1e-12)
+            member_scores.append(obs)
+        return np.median(np.asarray(member_scores), axis=0)
+
+    @property
+    def seconds_per_epoch(self):
+        if not self.epoch_seconds_:
+            raise RuntimeError("fit before reading runtimes")
+        return float(np.mean(self.epoch_seconds_)) * self.n_models

@@ -1,0 +1,111 @@
+"""Robust Deep Autoencoder (Zhou & Paffenroth, KDD 2017).
+
+The non-temporal ancestor of the paper's RAE: the window matrix ``X`` is
+split as ``X = L_D + S``; a fully-connected autoencoder is trained on
+``L_D`` while ``S`` is refreshed by an l1 proximal step, alternating until
+the split stabilises.  Because the AE sees flattened windows with no
+convolutional or recurrent structure, "RDA cannot capture temporal
+dependencies" (Section V-B) — which is exactly why the paper outperforms it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..rpca import soft_threshold
+from .base import WindowedDetector
+
+__all__ = ["RDA"]
+
+
+class _FCAE(nn.Module):
+    def __init__(self, input_dim, hidden, rng):
+        super().__init__()
+        bottleneck = max(hidden // 4, 2)
+        self.net = nn.Sequential(
+            nn.Linear(input_dim, hidden, rng=rng), nn.Tanh(),
+            nn.Linear(hidden, bottleneck, rng=rng), nn.Tanh(),
+            nn.Linear(bottleneck, hidden, rng=rng), nn.Tanh(),
+            nn.Linear(hidden, input_dim, rng=rng),
+        )
+
+    def forward(self, x):
+        return self.net(x)
+
+
+class RDA(WindowedDetector):
+    """Alternating FC-autoencoder / soft-threshold decomposition of windows.
+
+    Parameters
+    ----------
+    lam: sparsity weight of the l1 term on ``S``.
+    outer_iterations: number of AE-train / prox alternations.
+    inner_epochs: AE epochs per alternation.
+    """
+
+    name = "RDA"
+
+    def __init__(self, window=32, stride=None, hidden=64, lam=0.1,
+                 outer_iterations=5, inner_epochs=5, lr=1e-3, batch_size=32,
+                 seed=0):
+        super().__init__(window=window, stride=stride)
+        self.hidden = int(hidden)
+        self.lam = float(lam)
+        self.outer_iterations = int(outer_iterations)
+        self.inner_epochs = int(inner_epochs)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.seed = seed
+        self.model_ = None
+        self.epoch_seconds_ = []
+
+    def fit(self, series):
+        arr, windows, starts, width = self._prepare(series)
+        flat = windows.reshape(windows.shape[0], -1)
+        rng = np.random.default_rng(self.seed)
+        self.model_ = _FCAE(flat.shape[1], self.hidden, rng)
+        optimizer = nn.Adam(self.model_.parameters(), lr=self.lr)
+        sparse = np.zeros_like(flat)
+        num = flat.shape[0]
+        batch = min(self.batch_size, num)
+        self.epoch_seconds_ = []
+        for __ in range(self.outer_iterations):
+            clean = flat - sparse
+            for __ in range(self.inner_epochs):
+                started = time.perf_counter()
+                order = rng.permutation(num)
+                for lo in range(0, num, batch):
+                    idx = order[lo : lo + batch]
+                    optimizer.zero_grad()
+                    loss = nn.mse_loss(self.model_(nn.Tensor(clean[idx])), clean[idx])
+                    loss.backward()
+                    optimizer.step()
+                self.epoch_seconds_.append(time.perf_counter() - started)
+            with nn.no_grad():
+                recon = self.model_(nn.Tensor(clean)).data
+            sparse = soft_threshold(flat - recon, self.lam)
+        self._sparse_fitted = sparse
+        return self
+
+    def score(self, series):
+        if self.model_ is None:
+            raise RuntimeError("fit before score")
+        arr, windows, starts, width = self._prepare(series)
+        flat = windows.reshape(windows.shape[0], -1)
+        with nn.no_grad():
+            recon = self.model_(nn.Tensor(flat)).data
+        sparse = soft_threshold(flat - recon, self.lam)
+        residual = flat - recon
+        # Score from the sparse part where it is non-zero, residual elsewhere.
+        per_elem = np.where(sparse != 0.0, sparse, residual) ** 2
+        per_position = per_elem.reshape(windows.shape).sum(axis=2)
+        return self._to_observation_scores(per_position, starts, width, arr.shape[0])
+
+    @property
+    def seconds_per_epoch(self):
+        if not self.epoch_seconds_:
+            raise RuntimeError("fit before reading runtimes")
+        return float(np.mean(self.epoch_seconds_))

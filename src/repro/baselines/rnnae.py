@@ -1,0 +1,47 @@
+"""RNN (LSTM) autoencoder baseline (Malhotra et al., 2016; Kieu et al., 2018).
+
+Sequence-to-sequence reconstruction: an LSTM encoder compresses the window
+into its final hidden state, which is repeated at every step and decoded by
+a second LSTM plus a linear readout.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from ..nn.recurrent import repeat_hidden
+from .neural import NeuralWindowDetector
+
+__all__ = ["RNNAE"]
+
+
+class _Seq2SeqAE(nn.Module):
+    def __init__(self, dims, hidden, rng):
+        super().__init__()
+        self.encoder = nn.LSTM(dims, hidden, rng=rng)
+        self.decoder = nn.LSTM(hidden, hidden, rng=rng)
+        self.readout = nn.Linear(hidden, dims, rng=rng)
+
+    def forward(self, x):
+        __, (h, c) = self.encoder(x)
+        context = repeat_hidden(h, x.shape[1])
+        decoded, __ = self.decoder(context)
+        return self.readout(decoded)
+
+
+class RNNAE(NeuralWindowDetector):
+    """LSTM encoder-decoder window autoencoder.
+
+    ``hidden`` is the paper's "number of hidden units" hyperparameter
+    (swept over {32..1024}).
+    """
+
+    name = "RNNAE"
+
+    def __init__(self, window=32, stride=None, hidden=32, epochs=20, lr=1e-3,
+                 batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.hidden = int(hidden)
+
+    def _build(self, width, dims, rng):
+        return _Seq2SeqAE(dims, self.hidden, rng)

@@ -1,0 +1,49 @@
+"""RSSA detector: SSA with its SVD replaced by Robust PCA (Section V-B).
+
+Appears throughout the paper's sensitivity studies (Figs. 6-8) as the
+strongest classical robust comparator.
+"""
+
+from __future__ import annotations
+
+from .base import BaseDetector, as_series
+from ..tsops import rssa_decompose, standardize
+
+__all__ = ["RSSADetector"]
+
+
+class RSSADetector(BaseDetector):
+    """Robust singular spectrum analysis on the full series.
+
+    Parameters
+    ----------
+    window: lagged-matrix window ``B`` (paper sweeps {10..400}).
+    lam: RPCA sparsity weight (the paper's lambda sweep, Fig. 6).
+    """
+
+    name = "RSSA"
+
+    def __init__(self, window=None, lam=None, max_iter=200):
+        self.window = window
+        self.lam = lam
+        self.max_iter = int(max_iter)
+        self.result_ = None
+
+    def fit(self, series):
+        arr = standardize(as_series(series))
+        self.result_ = rssa_decompose(
+            arr, window=self.window, lam=self.lam, max_iter=self.max_iter
+        )
+        return self
+
+    def score(self, series):
+        if self.result_ is None:
+            raise RuntimeError("fit before score")
+        return self.result_.scores
+
+    @property
+    def clean_series(self):
+        """The decomposed clean series T_L (for explainability analysis)."""
+        if self.result_ is None:
+            raise RuntimeError("fit before reading the clean series")
+        return self.result_.clean

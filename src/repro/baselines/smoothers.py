@@ -1,0 +1,101 @@
+"""Smoothing-based detectors: EMA, STL, and SSA (Section V-A baselines).
+
+Each fits an easy-to-explain "clean" signal and scores observations by their
+squared deviation from it — the same scoring rule (Eq. 13) the proposed
+frameworks use, which makes these the natural classical comparators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BaseDetector, as_series
+from ..tsops import ema, ssa_decompose, standardize, stl_decompose
+
+__all__ = ["EMADetector", "STLDetector", "SSADetector"]
+
+
+class EMADetector(BaseDetector):
+    """Exponential-moving-average smoothing detector.
+
+    ``pattern_size`` follows the paper's hyperparameter (sweeping
+    {5, 10, 20, 50, 100}); it maps to the smoothing factor via the standard
+    span relation ``alpha = 2 / (pattern_size + 1)``.
+    """
+
+    name = "EMA"
+
+    def __init__(self, pattern_size=20):
+        self.pattern_size = int(pattern_size)
+        self._clean = None
+
+    @property
+    def alpha(self):
+        return 2.0 / (self.pattern_size + 1.0)
+
+    def fit(self, series):
+        arr = standardize(as_series(series))
+        self._clean = ema(arr, alpha=self.alpha)
+        self._fitted = arr
+        return self
+
+    def score(self, series):
+        arr = standardize(as_series(series))
+        clean = ema(arr, alpha=self.alpha)
+        return ((arr - clean) ** 2).sum(axis=1)
+
+
+class STLDetector(BaseDetector):
+    """Seasonal-trend-decomposition detector; scores the STL residual.
+
+    ``seasonal`` and ``trend`` are the paper's S and T loess coefficients;
+    they scale the respective loess windows.
+    """
+
+    name = "STL"
+
+    def __init__(self, period=None, seasonal=7, trend=None):
+        self.period = period
+        self.seasonal = int(seasonal)
+        self.trend = trend
+
+    def fit(self, series):
+        return self
+
+    def score(self, series):
+        arr = standardize(as_series(series))
+        trend_window = None
+        if self.trend is not None and self.period is not None:
+            trend_window = int(self.trend * self.period) | 1
+        result = stl_decompose(
+            arr,
+            period=self.period,
+            seasonal_window=self.seasonal,
+            trend_window=trend_window,
+        )
+        residual = np.asarray(result.residual)
+        if residual.ndim == 1:
+            residual = residual[:, None]
+        return (residual**2).sum(axis=1)
+
+
+class SSADetector(BaseDetector):
+    """Singular-spectrum-analysis detector; scores deviation from the
+    top-``n_components`` reconstruction."""
+
+    name = "SSA"
+
+    def __init__(self, window=None, n_components=3):
+        self.window = window
+        self.n_components = int(n_components)
+
+    def fit(self, series):
+        return self
+
+    def score(self, series):
+        arr = standardize(as_series(series))
+        decomposition = ssa_decompose(
+            arr, window=self.window, max_components=max(self.n_components, 1)
+        )
+        clean = decomposition.reconstruct(self.n_components)
+        return ((arr - clean) ** 2).sum(axis=1)

@@ -1,0 +1,66 @@
+"""Transformer autoencoder baseline (Meng et al., 2020).
+
+Windows are linearly embedded, given sinusoidal positional encodings, passed
+through a stack of self-attention encoder blocks, squeezed through a linear
+bottleneck per step, and projected back to the input dimensionality.
+Scoring is the usual per-position reconstruction error.
+"""
+
+from __future__ import annotations
+
+from .. import nn
+from .neural import NeuralWindowDetector
+
+__all__ = ["TransformerAE"]
+
+
+class _TransformerAE(nn.Module):
+    def __init__(self, dims, d_model, num_heads, num_layers, bottleneck, rng):
+        super().__init__()
+        self.embed = nn.Linear(dims, d_model, rng=rng)
+        self.positional = nn.PositionalEncoding(d_model)
+        self.blocks = nn.Sequential(
+            *[
+                nn.TransformerEncoderLayer(d_model, num_heads, rng=rng)
+                for __ in range(num_layers)
+            ]
+        )
+        self.squeeze = nn.Linear(d_model, bottleneck, rng=rng)
+        self.expand = nn.Linear(bottleneck, d_model, rng=rng)
+        self.readout = nn.Linear(d_model, dims, rng=rng)
+
+    def forward(self, x):
+        h = self.blocks(self.positional(self.embed(x)))
+        h = self.expand(self.squeeze(h).tanh())
+        return self.readout(h)
+
+
+class TransformerAE(NeuralWindowDetector):
+    """Attention-based window autoencoder.
+
+    ``num_heads`` is the paper's "number of attention heads" hyperparameter
+    (swept over {3, 5, 7, 9, 11}; values are rounded down to a divisor of
+    ``d_model``).
+    """
+
+    name = "TAE"
+
+    def __init__(self, window=32, stride=None, d_model=32, num_heads=4,
+                 num_layers=2, bottleneck=8, epochs=15, lr=1e-3,
+                 batch_size=32, seed=0):
+        super().__init__(window=window, stride=stride, epochs=epochs, lr=lr,
+                         batch_size=batch_size, seed=seed)
+        self.d_model = int(d_model)
+        # Round the head count down to the nearest divisor of d_model.
+        heads = max(int(num_heads), 1)
+        while self.d_model % heads != 0:
+            heads -= 1
+        self.num_heads = heads
+        self.num_layers = int(num_layers)
+        self.bottleneck = int(bottleneck)
+
+    def _build(self, width, dims, rng):
+        return _TransformerAE(
+            dims, self.d_model, self.num_heads, self.num_layers,
+            self.bottleneck, rng,
+        )

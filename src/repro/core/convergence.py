@@ -1,0 +1,51 @@
+"""Convergence bookkeeping for the ADMM training loops (Fig. 17)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["ConvergenceTrace", "stopping_conditions"]
+
+
+def stopping_conditions(original, clean, outlier, previous_sum):
+    """The two stopping conditions of Algorithms 1 and 2.
+
+    ``condition1 = ||T - T_L - T_S|| / ||T||`` — the constraint is satisfied;
+    ``condition2 = ||T* - T_L - T_S|| / ||T||`` — the split has stopped moving.
+    Returns ``(condition1, condition2, new_previous_sum)``.
+    """
+    original = np.asarray(original)
+    norm = max(float(np.linalg.norm(original)), 1e-12)
+    current_sum = clean + outlier
+    condition1 = float(np.linalg.norm(original - current_sum)) / norm
+    condition2 = float(np.linalg.norm(previous_sum - current_sum)) / norm
+    return condition1, condition2, current_sum
+
+
+@dataclasses.dataclass
+class ConvergenceTrace:
+    """Per-iteration diagnostics recorded while training RAE / RDAE.
+
+    ``rmse`` holds RMSE(T, T_L) per outer iteration — the quantity plotted
+    in the paper's empirical convergence analysis (Fig. 17).
+    """
+
+    rmse: list = dataclasses.field(default_factory=list)
+    condition1: list = dataclasses.field(default_factory=list)
+    condition2: list = dataclasses.field(default_factory=list)
+    converged: bool = False
+    iterations: int = 0
+
+    def record(self, rmse_value, condition1, condition2):
+        self.rmse.append(float(rmse_value))
+        self.condition1.append(float(condition1))
+        self.condition2.append(float(condition2))
+        self.iterations = len(self.rmse)
+
+    @property
+    def final_rmse(self):
+        if not self.rmse:
+            raise RuntimeError("no iterations recorded")
+        return self.rmse[-1]

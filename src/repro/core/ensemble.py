@@ -1,0 +1,91 @@
+"""Ensemble extension (the paper's future-work direction, Section VII).
+
+The conclusion names ensemble learning (citing Kieu et al., IJCAI 2019) as a
+way to further improve accuracy.  :class:`RobustEnsemble` realises it for
+the robust frameworks: ``n_members`` RAE (or RDAE) instances with different
+seeds and jittered architectures are fitted independently; per-member scores
+are standardised and combined by the median (robust to a diverged member).
+The ensemble also exposes a consensus clean series for the explainability
+analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import BaseDetector
+from .rae import RAE
+from .rdae import RDAE
+
+__all__ = ["RobustEnsemble"]
+
+
+class RobustEnsemble(BaseDetector):
+    """Median ensemble of RAE or RDAE members.
+
+    Parameters
+    ----------
+    base: 'rae' or 'rdae'.
+    n_members: ensemble size.
+    jitter: when True, members get diverse kernel counts / kernel sizes
+        (diversity is what makes AE ensembles work, cf. RandNet).
+    combine: 'median' (default) or 'mean'.
+    base_kwargs: forwarded to every member's constructor.
+    """
+
+    name = "RAE-Ens"
+
+    def __init__(self, base="rae", n_members=5, jitter=True, combine="median",
+                 seed=0, **base_kwargs):
+        if base not in ("rae", "rdae"):
+            raise ValueError("base must be 'rae' or 'rdae'")
+        if combine not in ("median", "mean"):
+            raise ValueError("combine must be 'median' or 'mean'")
+        self.base = base
+        self.n_members = int(n_members)
+        self.jitter = bool(jitter)
+        self.combine = combine
+        self.seed = seed
+        self.base_kwargs = base_kwargs
+        self.members_ = []
+        self.name = "%s-Ens" % base.upper()
+
+    def _member(self, index, rng):
+        kwargs = dict(self.base_kwargs)
+        kwargs["seed"] = int(rng.integers(0, 2**31 - 1))
+        if self.jitter:
+            kwargs.setdefault("kernels", int(rng.choice([8, 16, 32])))
+            kwargs.setdefault("kernel_size", int(rng.choice([3, 5, 7])))
+        cls = RAE if self.base == "rae" else RDAE
+        return cls(**kwargs)
+
+    def fit(self, series):
+        rng = np.random.default_rng(self.seed)
+        self.members_ = []
+        for index in range(self.n_members):
+            member = self._member(index, rng)
+            member.fit(series)
+            self.members_.append(member)
+        return self
+
+    def score(self, series):
+        if not self.members_:
+            raise RuntimeError("fit before score")
+        per_member = []
+        for member in self.members_:
+            scores = member.score(series)
+            spread = scores.std()
+            per_member.append(
+                (scores - scores.mean()) / (spread if spread > 0 else 1.0)
+            )
+        stacked = np.asarray(per_member)
+        if self.combine == "median":
+            return np.median(stacked, axis=0)
+        return stacked.mean(axis=0)
+
+    @property
+    def clean_series(self):
+        """Member-mean clean series (for the explainability analysis)."""
+        if not self.members_:
+            raise RuntimeError("fit before reading the clean series")
+        return np.mean([m.clean_series for m in self.members_], axis=0)

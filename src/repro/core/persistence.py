@@ -1,0 +1,108 @@
+"""Save / load fitted RAE and RDAE detectors.
+
+The streaming deployment (``score_new``) only makes sense if a fitted
+detector survives the process that trained it.  Detectors are serialised to
+a single ``.npz``: constructor arguments, the training scaler, the fitted
+decomposition, and every module's parameter arrays.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .rae import RAE
+from .rdae import RDAE
+
+__all__ = ["save_detector", "load_detector"]
+
+_RAE_ARGS = (
+    "lam", "epsilon", "max_iterations", "kernels", "num_layers",
+    "kernel_size", "arch", "prox", "epochs_per_iteration", "lr", "seed",
+)
+_RDAE_ARGS = (
+    "window", "lam1", "lam2", "epsilon", "max_outer", "inner_iterations",
+    "series_iterations", "kernels", "num_layers", "kernel_size", "arch",
+    "use_f1", "use_f2", "input_smoother", "dehankel", "prox", "epochs_per_iteration",
+    "lr", "seed",
+)
+
+
+def _module_state(prefix, module):
+    if module is None:
+        return {}
+    return {"%s::%s" % (prefix, k): v for k, v in module.state_dict().items()}
+
+
+def _load_module_state(blob, prefix, module):
+    if module is None:
+        return
+    wanted = "%s::" % prefix
+    state = {
+        key[len(wanted):]: blob[key] for key in blob.files if key.startswith(wanted)
+    }
+    module.load_state_dict(state)
+
+
+def save_detector(detector, path):
+    """Serialise a fitted RAE or RDAE to ``path`` (a ``.npz`` file)."""
+    if isinstance(detector, RAE):
+        kind, arg_names = "RAE", _RAE_ARGS
+    elif isinstance(detector, RDAE):
+        kind, arg_names = "RDAE", _RDAE_ARGS
+    else:
+        raise TypeError("can only save RAE or RDAE, got %s" % type(detector).__name__)
+    if detector.clean_ is None:
+        raise RuntimeError("fit the detector before saving")
+    config = {name: getattr(detector, name) for name in arg_names}
+    arrays = {
+        "__meta__": np.frombuffer(
+            json.dumps({"kind": kind, "config": config}).encode(), dtype=np.uint8
+        ),
+        "scale_mean": detector._scale_mean,
+        "scale_std": detector._scale_std,
+        "clean": detector.clean_,
+        "outlier": detector.outlier_,
+        "residual": detector._residual,
+    }
+    if kind == "RAE":
+        arrays.update(_module_state("model", detector.model_))
+    else:
+        arrays.update(_module_state("inner", detector._inner))
+        arrays.update(_module_state("f1", detector._f1))
+        arrays.update(_module_state("f2", detector._f2))
+    np.savez(path, **arrays)
+
+
+def load_detector(path):
+    """Load a detector saved by :func:`save_detector`; ready for scoring."""
+    blob = np.load(path)
+    meta = json.loads(bytes(blob["__meta__"]).decode())
+    config = meta["config"]
+    if meta["kind"] == "RAE":
+        detector = RAE(**config)
+        rng = np.random.default_rng(detector.seed)
+        dims = blob["clean"].shape[1]
+        detector.model_ = detector._build(dims, rng)
+        _load_module_state(blob, "model", detector.model_)
+    elif meta["kind"] == "RDAE":
+        detector = RDAE(**config)
+        rng = np.random.default_rng(detector.seed)
+        dims = blob["clean"].shape[1]
+        length = blob["clean"].shape[0]
+        window = detector._effective_window(length)
+        detector._inner, detector._f1, detector._f2 = detector._build_modules(
+            dims, window, rng
+        )
+        _load_module_state(blob, "inner", detector._inner)
+        _load_module_state(blob, "f1", detector._f1)
+        _load_module_state(blob, "f2", detector._f2)
+    else:  # pragma: no cover - corrupt file
+        raise ValueError("unknown detector kind %r" % meta["kind"])
+    detector._scale_mean = blob["scale_mean"]
+    detector._scale_std = blob["scale_std"]
+    detector.clean_ = blob["clean"]
+    detector.outlier_ = blob["outlier"]
+    detector._residual = blob["residual"]
+    return detector

@@ -1,0 +1,318 @@
+"""RDAE: the Robust Dual Autoencoder (Section III-C, Algorithm 2).
+
+RDAE decomposes a series from two views.  The series is embedded into a
+lagged (Hankel) matrix ``M``; a shape-preserving 2D-CNN ``f1`` smooths it
+(Eq. 15); an inner robust autoencoder splits ``M_hat = L + S`` by
+alternating BACKPROP and soft-thresholding (Eq. 16); Hankelization and
+anti-diagonal averaging turn ``L``/``S`` back into series; an outer robust
+1D-CNN ``f2`` then splits ``T = T_L + T_S`` on the time series view
+(Eq. 17).  The whole pipeline repeats until the split stabilises.
+
+Ablation switches reproduce every Fig. 8/9 variant:
+
+* ``use_f1=False``  -> RDAE-f1  (no inner smoothing transform)
+* ``use_f2=False``  -> RDAE-f2  (no outer time-series AE)
+* both False        -> RDAE-f1f2, the lagged-matrix-only model (≈ RDA)
+* ``input_smoother='ma'`` -> RDAE+MA (moving average replaces ``f1``)
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..baselines.base import BaseDetector, as_series
+from ..rpca import hard_threshold, soft_threshold
+from ..tsops import deembed_lagged, embed_lagged, hankelize, moving_average
+from .autoencoders import (
+    ConvMatrixAE,
+    ConvTransform1d,
+    ConvTransform2d,
+    FCMatrixAE,
+    matrix_to_tensor,
+    series_to_tensor,
+    tensor_to_matrix,
+    tensor_to_series,
+    train_reconstruction,
+)
+from .convergence import ConvergenceTrace, stopping_conditions
+
+__all__ = ["RDAE"]
+
+
+def _prox(values, threshold, kind):
+    if kind == "l1":
+        return soft_threshold(values, threshold)
+    if kind == "l0":
+        return hard_threshold(values, threshold)
+    raise ValueError("prox must be 'l1' or 'l0', got %r" % kind)
+
+
+class RDAE(BaseDetector):
+    """Robust dual (matrix-view + series-view) autoencoder detector.
+
+    Parameters
+    ----------
+    window: lagged-matrix window ``B`` (paper sweeps {10..400}; must satisfy
+        ``1 < B < C/2`` and is clipped if the series is too short).
+    lam1, lam2: sparsity weights of the inner / outer l1 terms (the paper
+        sets ``lam1 = lam2`` in its lambda sweep).
+    epsilon: stopping tolerance shared by all three loops.
+    max_outer: outer while-loop iterations ("epochs" in Fig. 17).
+    inner_iterations: cap for the inner (matrix) ADMM loop per outer pass.
+    series_iterations: cap for the outer (series) ADMM loop per outer pass.
+    kernels, num_layers, kernel_size: CNN architecture knobs.
+    arch: 'cnn' (paper default) or 'fc' (RDAE_FC ablation).
+    use_f1 / use_f2 / input_smoother: ablation switches (see module docs).
+    dehankel: 'average' (anti-diagonal averaging, the paper's Hankelization)
+        or 'endpoint' (single-cell readout) — the DESIGN.md §6 ablation.
+    """
+
+    name = "RDAE"
+
+    def __init__(self, window=50, lam1=0.1, lam2=0.1, epsilon=1e-5,
+                 max_outer=5, inner_iterations=10, series_iterations=10,
+                 kernels=8, num_layers=2, kernel_size=3, arch="cnn",
+                 use_f1=True, use_f2=True, input_smoother="none",
+                 dehankel="average", prox="l1", epochs_per_iteration=2,
+                 lr=1e-2, seed=0):
+        self.window = int(window)
+        self.lam1 = float(lam1)
+        self.lam2 = float(lam2)
+        self.epsilon = float(epsilon)
+        self.max_outer = int(max_outer)
+        self.inner_iterations = int(inner_iterations)
+        self.series_iterations = int(series_iterations)
+        self.kernels = int(kernels)
+        self.num_layers = int(num_layers)
+        self.kernel_size = int(kernel_size)
+        if arch not in ("cnn", "fc"):
+            raise ValueError("arch must be 'cnn' or 'fc'")
+        self.arch = arch
+        self.use_f1 = bool(use_f1)
+        self.use_f2 = bool(use_f2)
+        if input_smoother not in ("none", "ma"):
+            raise ValueError("input_smoother must be 'none' or 'ma'")
+        self.input_smoother = input_smoother
+        if dehankel not in ("average", "endpoint"):
+            raise ValueError("dehankel must be 'average' or 'endpoint'")
+        self.dehankel = dehankel
+        self.prox = prox
+        self.epochs_per_iteration = int(epochs_per_iteration)
+        self.lr = float(lr)
+        self.seed = seed
+        self.clean_ = None
+        self.outlier_ = None
+        self.trace_ = None
+        self.epoch_seconds_ = []
+
+    # ------------------------------------------------------------------ #
+    def _effective_window(self, length):
+        # Paper constraint: 1 < B < C / 2.
+        return int(np.clip(self.window, 2, max(2, length // 2 - 1)))
+
+    def _build_modules(self, dims, window, rng):
+        if self.arch == "fc":
+            inner = FCMatrixAE(dims, window, hidden=8 * self.kernels, rng=rng)
+        else:
+            inner = ConvMatrixAE(
+                dims,
+                kernels=self.kernels,
+                num_layers=self.num_layers,
+                kernel_size=self.kernel_size,
+                rng=rng,
+            )
+        f1 = (
+            ConvTransform2d(dims, self.kernels, self.kernel_size, rng=rng)
+            if self.use_f1
+            else None
+        )
+        f2 = (
+            ConvTransform1d(dims, self.kernels, self.kernel_size, rng=rng)
+            if self.use_f2
+            else None
+        )
+        return inner, f1, f2
+
+    def _smooth_matrix(self, clean_input, window):
+        """Produce M_hat: the (optionally smoothed) lagged matrix."""
+        if self.input_smoother == "ma":
+            smoothed = moving_average(clean_input, max(window // 4, 3))
+            return embed_lagged(smoothed, window), None
+        lagged = embed_lagged(clean_input, window)
+        if self._f1 is None:
+            return lagged, None
+        # Eq. 15: train f1 to reproduce M, then smooth.
+        recon = train_reconstruction(
+            self._f1,
+            self._f1_optimizer,
+            matrix_to_tensor(lagged),
+            epochs=self.epochs_per_iteration,
+        )
+        return tensor_to_matrix(recon), lagged
+
+    def _inner_decomposition(self, m_hat, sparse):
+        """Alg. 2 lines 8-17: split M_hat = L + S with the inner robust AE."""
+        if sparse is None or sparse.shape != m_hat.shape:
+            sparse = np.zeros_like(m_hat)
+        previous = m_hat.copy()
+        low = m_hat - sparse
+        for __ in range(self.inner_iterations):
+            low_input = m_hat - sparse
+            recon = train_reconstruction(
+                self._inner,
+                self._inner_optimizer,
+                matrix_to_tensor(low_input),
+                epochs=self.epochs_per_iteration,
+            )
+            low = tensor_to_matrix(recon)
+            sparse = _prox(m_hat - low, self.lam1, self.prox)
+            condition1, condition2, previous = stopping_conditions(
+                m_hat, low, sparse, previous
+            )
+            if condition1 < self.epsilon or condition2 < self.epsilon:
+                break
+        return low, sparse
+
+    def _series_decomposition(self, arr, outlier):
+        """Alg. 2 lines 20-30: split T = T_L + T_S with the outer RAE f2."""
+        previous = arr.copy()
+        clean = arr - outlier
+        for __ in range(self.series_iterations):
+            clean_input = arr - outlier
+            recon = train_reconstruction(
+                self._f2,
+                self._f2_optimizer,
+                series_to_tensor(clean_input),
+                epochs=self.epochs_per_iteration,
+            )
+            clean = tensor_to_series(recon)
+            outlier = _prox(arr - clean, self.lam2, self.prox)
+            condition1, condition2, previous = stopping_conditions(
+                arr, clean, outlier, previous
+            )
+            if condition1 < self.epsilon or condition2 < self.epsilon:
+                break
+        return clean, outlier
+
+    def _fit_scaler(self, raw):
+        self._scale_mean = raw.mean(axis=0, keepdims=True)
+        self._scale_std = np.maximum(raw.std(axis=0, keepdims=True), 1e-9)
+
+    def _apply_scaler(self, raw):
+        return (raw - self._scale_mean) / self._scale_std
+
+    # ------------------------------------------------------------------ #
+    def fit(self, series):
+        raw = as_series(series)
+        self._fit_scaler(raw)
+        arr = self._apply_scaler(raw)
+        length, dims = arr.shape
+        window = self._effective_window(length)
+        rng = np.random.default_rng(self.seed)
+        self._inner, self._f1, self._f2 = self._build_modules(dims, window, rng)
+        # Wide kernels aggregate more terms per output and blow up gradient
+        # magnitudes; scaling the step down keeps training stable across the
+        # paper's kernel-size sweep (Fig. 15) without hurting small kernels.
+        lr = self.lr * min(1.0, 3.0 / max(self.kernel_size, 1))
+        self._inner_optimizer = nn.Adam(self._inner.parameters(), lr=lr)
+        self._f1_optimizer = (
+            nn.Adam(self._f1.parameters(), lr=lr) if self._f1 else None
+        )
+        self._f2_optimizer = (
+            nn.Adam(self._f2.parameters(), lr=lr) if self._f2 else None
+        )
+
+        trace = ConvergenceTrace()
+        self.epoch_seconds_ = []
+        outlier = np.zeros_like(arr)   # T_S
+        clean = arr.copy()             # T_L
+        sparse = None                  # S
+        previous_sum = arr.copy()
+        for __ in range(self.max_outer):
+            started = time.perf_counter()
+            clean_input = arr - outlier                     # line 3
+            m_hat, __lagged = self._smooth_matrix(clean_input, window)  # lines 4-6
+            low, sparse = self._inner_decomposition(m_hat, sparse)      # lines 8-17
+            # Lines 18-19: Hankelize and read the series views back out.
+            # DESIGN.md §6 ablation: anti-diagonal averaging (the paper's
+            # Hankelization, default) vs the cheap endpoint readout.
+            clean = deembed_lagged(hankelize(low), method=self.dehankel)
+            outlier_view = deembed_lagged(hankelize(sparse), method=self.dehankel)
+            if self._f2 is not None:
+                clean, outlier = self._series_decomposition(arr, outlier_view)
+            else:
+                # RDAE-f2 ablation: the matrix view is final.
+                outlier = _prox(arr - clean, self.lam2, self.prox)
+            condition1, condition2, previous_sum = stopping_conditions(
+                arr, clean, outlier, previous_sum
+            )
+            trace.record(
+                np.sqrt(np.mean((arr - clean) ** 2)), condition1, condition2
+            )
+            self.epoch_seconds_.append(time.perf_counter() - started)
+            if condition1 < self.epsilon or condition2 < self.epsilon:
+                trace.converged = True
+                break
+
+        self.clean_ = clean
+        self.outlier_ = outlier
+        self._residual = arr - clean
+        self.trace_ = trace
+        return self
+
+    def score(self, series):
+        """Outlier scores ``||s_S_i||_2^2`` (Eq. 13), with the sub-threshold
+        residual as an order-consistent tiebreak among zeroed entries."""
+        if self.outlier_ is None:
+            raise RuntimeError("fit before score")
+        primary = (self.outlier_**2).sum(axis=1)
+        tiebreak = (self._residual**2).sum(axis=1)
+        return primary + 1e-9 * tiebreak
+
+    def score_new(self, series):
+        """Score a previously-unseen series with the trained modules.
+
+        Streaming deployment (Section V-B): the new series is scaled with
+        the training statistics and scored without retraining.  The outer
+        transform ``f2`` is used when present; the f2-less ablations fall
+        back to the inner matrix autoencoder via the lagged-matrix path.
+        """
+        if self.clean_ is None:
+            raise RuntimeError("fit before score_new")
+        arr = self._apply_scaler(as_series(series))
+        with nn.no_grad():
+            if self._f2 is not None:
+                recon = self._f2(nn.Tensor(series_to_tensor(arr))).data
+                clean = tensor_to_series(recon)
+            else:
+                window = int(np.clip(self.window, 2, max(2, arr.shape[0] // 2 - 1)))
+                lagged = embed_lagged(arr, window)
+                recon = self._inner(nn.Tensor(matrix_to_tensor(lagged))).data
+                clean = deembed_lagged(hankelize(tensor_to_matrix(recon)))
+        residual = arr - clean
+        outlier = _prox(residual, self.lam2, self.prox)
+        return (outlier**2).sum(axis=1) + 1e-9 * (residual**2).sum(axis=1)
+
+    @property
+    def clean_series(self):
+        """The decomposed clean series ``T_L``."""
+        if self.clean_ is None:
+            raise RuntimeError("fit before reading the clean series")
+        return self.clean_
+
+    @property
+    def outlier_series(self):
+        """The decomposed sparse outlier series ``T_S``."""
+        if self.outlier_ is None:
+            raise RuntimeError("fit before reading the outlier series")
+        return self.outlier_
+
+    @property
+    def seconds_per_epoch(self):
+        """Mean wall-clock seconds per outer iteration (Fig. 18 quantity)."""
+        if not self.epoch_seconds_:
+            raise RuntimeError("fit before reading runtimes")
+        return float(np.mean(self.epoch_seconds_))

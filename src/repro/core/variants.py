@@ -1,0 +1,189 @@
+"""Non-robust counterparts and ablation factories (Sections V-B).
+
+* ``NRAE`` / ``NRDAE`` — the robustness study of Fig. 9: the same
+  architectures with the decomposition removed; the AE reconstructs the raw
+  (contaminated) input and scores by plain reconstruction error.
+* ``make_ablation`` — the Fig. 8 ablations of RDAE (``-f1``, ``-f2``,
+  ``-f1f2``, ``+MA``) and the Fig. 10 FC-vs-CNN variants.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .. import nn
+from ..baselines.base import BaseDetector, as_series
+from ..tsops import deembed_lagged, embed_lagged, standardize
+from .autoencoders import (
+    ConvMatrixAE,
+    ConvSeriesAE,
+    matrix_to_tensor,
+    series_to_tensor,
+    tensor_to_matrix,
+    tensor_to_series,
+    train_reconstruction,
+)
+from .rae import RAE
+from .rdae import RDAE
+
+__all__ = ["NRAE", "NRDAE", "make_ablation", "ABLATION_NAMES"]
+
+
+class NRAE(BaseDetector):
+    """Non-robust RAE: a 1D-CNN AE reconstructing the raw series.
+
+    The reconstruction is taken as the clean series ``T_L`` and scores are
+    the squared differences ``||T - T_L||`` — no decomposition, no prox.
+    """
+
+    name = "N-RAE"
+
+    def __init__(self, epochs=30, kernels=16, num_layers=3, kernel_size=3,
+                 lr=1e-2, seed=0):
+        self.epochs = int(epochs)
+        self.kernels = int(kernels)
+        self.num_layers = int(num_layers)
+        self.kernel_size = int(kernel_size)
+        self.lr = float(lr)
+        self.seed = seed
+        self.clean_ = None
+        self.epoch_seconds_ = []
+
+    def fit(self, series):
+        arr = standardize(as_series(series))
+        rng = np.random.default_rng(self.seed)
+        model = ConvSeriesAE(
+            arr.shape[1], self.kernels, self.num_layers, self.kernel_size, rng
+        )
+        optimizer = nn.Adam(model.parameters(), lr=self.lr)
+        self.epoch_seconds_ = []
+        recon = None
+        for __ in range(self.epochs):
+            started = time.perf_counter()
+            recon = train_reconstruction(
+                model, optimizer, series_to_tensor(arr), epochs=1
+            )
+            self.epoch_seconds_.append(time.perf_counter() - started)
+        self.clean_ = tensor_to_series(recon)
+        self._fitted = arr
+        return self
+
+    def score(self, series):
+        if self.clean_ is None:
+            raise RuntimeError("fit before score")
+        return ((self._fitted - self.clean_) ** 2).sum(axis=1)
+
+    @property
+    def clean_series(self):
+        if self.clean_ is None:
+            raise RuntimeError("fit before reading the clean series")
+        return self.clean_
+
+
+class NRDAE(BaseDetector):
+    """Non-robust RDAE: 2D-CNN AE on the lagged matrix, then a 1D-CNN AE on
+    the de-embedded series — the dual-view pipeline without any prox."""
+
+    name = "N-RDAE"
+
+    def __init__(self, window=50, epochs=10, kernels=8, num_layers=2,
+                 kernel_size=3, lr=1e-2, seed=0):
+        self.window = int(window)
+        self.epochs = int(epochs)
+        self.kernels = int(kernels)
+        self.num_layers = int(num_layers)
+        self.kernel_size = int(kernel_size)
+        self.lr = float(lr)
+        self.seed = seed
+        self.clean_ = None
+        self.epoch_seconds_ = []
+
+    def fit(self, series):
+        arr = standardize(as_series(series))
+        length, dims = arr.shape
+        window = int(np.clip(self.window, 2, max(2, length // 2 - 1)))
+        rng = np.random.default_rng(self.seed)
+        inner = ConvMatrixAE(
+            dims, self.kernels, self.num_layers, self.kernel_size, rng
+        )
+        outer = ConvSeriesAE(
+            dims, self.kernels, self.num_layers, self.kernel_size, rng
+        )
+        inner_optimizer = nn.Adam(inner.parameters(), lr=self.lr)
+        outer_optimizer = nn.Adam(outer.parameters(), lr=self.lr)
+        lagged = embed_lagged(arr, window)
+        self.epoch_seconds_ = []
+        low_recon = None
+        for __ in range(self.epochs):
+            started = time.perf_counter()
+            low_recon = train_reconstruction(
+                inner, inner_optimizer, matrix_to_tensor(lagged), epochs=1
+            )
+            self.epoch_seconds_.append(time.perf_counter() - started)
+        clean_from_matrix = deembed_lagged(tensor_to_matrix(low_recon))
+        series_recon = None
+        for __ in range(self.epochs):
+            started = time.perf_counter()
+            series_recon = train_reconstruction(
+                outer,
+                outer_optimizer,
+                series_to_tensor(clean_from_matrix),
+                epochs=1,
+            )
+            self.epoch_seconds_.append(time.perf_counter() - started)
+        self.clean_ = tensor_to_series(series_recon)
+        self._fitted = arr
+        return self
+
+    def score(self, series):
+        if self.clean_ is None:
+            raise RuntimeError("fit before score")
+        return ((self._fitted - self.clean_) ** 2).sum(axis=1)
+
+    @property
+    def clean_series(self):
+        if self.clean_ is None:
+            raise RuntimeError("fit before reading the clean series")
+        return self.clean_
+
+
+ABLATION_NAMES = (
+    "RDAE",
+    "RDAE-f1",
+    "RDAE-f2",
+    "RDAE-f1f2",
+    "RDAE+MA",
+    "RAE_FC",
+    "RAE_CNN",
+    "RDAE_FC",
+    "RDAE_CNN",
+)
+
+
+def make_ablation(name, **kwargs):
+    """Construct any named variant from Figs. 8 and 10.
+
+    ``kwargs`` are forwarded to the underlying constructor, so sweeps can
+    fix e.g. ``window`` or ``max_outer`` across all variants.
+    """
+    if name == "RDAE":
+        return RDAE(**kwargs)
+    if name == "RDAE-f1":
+        return RDAE(use_f1=False, **kwargs)
+    if name == "RDAE-f2":
+        return RDAE(use_f2=False, **kwargs)
+    if name == "RDAE-f1f2":
+        return RDAE(use_f1=False, use_f2=False, **kwargs)
+    if name == "RDAE+MA":
+        return RDAE(use_f1=False, input_smoother="ma", **kwargs)
+    if name == "RAE_FC":
+        return RAE(arch="fc", **kwargs)
+    if name == "RAE_CNN":
+        return RAE(arch="cnn", **kwargs)
+    if name == "RDAE_FC":
+        return RDAE(arch="fc", **kwargs)
+    if name == "RDAE_CNN":
+        return RDAE(arch="cnn", **kwargs)
+    raise KeyError("unknown ablation %r; known: %s" % (name, ", ".join(ABLATION_NAMES)))

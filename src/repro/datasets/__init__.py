@@ -1,0 +1,32 @@
+"""Surrogate datasets reproducing the paper's evaluation corpora."""
+
+from .base import Dataset, TimeSeries
+from .generators import (
+    generate_2d,
+    generate_ecg,
+    generate_gd,
+    generate_hss,
+    generate_nab,
+    generate_s5,
+    generate_syn,
+)
+from .inject import inject_collective_outliers, inject_outliers, inject_point_outliers
+from .registry import DATASET_GENERATORS, available_datasets, load_dataset
+
+__all__ = [
+    "Dataset",
+    "TimeSeries",
+    "inject_outliers",
+    "inject_point_outliers",
+    "inject_collective_outliers",
+    "generate_gd",
+    "generate_hss",
+    "generate_ecg",
+    "generate_nab",
+    "generate_s5",
+    "generate_2d",
+    "generate_syn",
+    "DATASET_GENERATORS",
+    "available_datasets",
+    "load_dataset",
+]

@@ -1,0 +1,89 @@
+"""Dataset containers shared by generators, the harness, and benchmarks."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["TimeSeries", "Dataset"]
+
+
+@dataclasses.dataclass
+class TimeSeries:
+    """One labelled multivariate time series.
+
+    Attributes
+    ----------
+    values: array ``(C, D)`` of observations.
+    labels: array ``(C,)`` of {0, 1} ground-truth outlier flags.  Labels are
+        used only for evaluation, never during training (Section V-A).
+    name: identifier within the parent dataset.
+    """
+
+    values: np.ndarray
+    labels: np.ndarray
+    name: str = ""
+
+    def __post_init__(self):
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim == 1:
+            self.values = self.values[:, None]
+        self.labels = np.asarray(self.labels, dtype=np.int64).ravel()
+        if self.labels.shape[0] != self.values.shape[0]:
+            raise ValueError(
+                "labels length %d != series length %d"
+                % (self.labels.shape[0], self.values.shape[0])
+            )
+
+    @property
+    def length(self):
+        return self.values.shape[0]
+
+    @property
+    def dims(self):
+        return self.values.shape[1]
+
+    @property
+    def outlier_ratio(self):
+        """Fraction of observations labelled as outliers (paper's phi)."""
+        return float(self.labels.mean())
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A named collection of labelled series (one paper dataset)."""
+
+    name: str
+    series: list
+
+    def __iter__(self):
+        return iter(self.series)
+
+    def __len__(self):
+        return len(self.series)
+
+    def __getitem__(self, index):
+        return self.series[index]
+
+    @property
+    def outlier_ratio(self):
+        total = sum(ts.length for ts in self.series)
+        outliers = sum(int(ts.labels.sum()) for ts in self.series)
+        return outliers / max(total, 1)
+
+    def summary(self):
+        """One-line description used by examples and the harness."""
+        lengths = [ts.length for ts in self.series]
+        dims = sorted({ts.dims for ts in self.series})
+        return (
+            "%s: %d series, length %d-%d, dims %s, outlier ratio %.1f%%"
+            % (
+                self.name,
+                len(self.series),
+                min(lengths),
+                max(lengths),
+                "/".join(map(str, dims)),
+                100.0 * self.outlier_ratio,
+            )
+        )

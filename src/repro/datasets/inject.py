@@ -1,0 +1,93 @@
+"""Outlier injection into clean synthetic series.
+
+All paper datasets "contain both point and collective outliers"
+(Section V-A).  The injector plants both kinds at a requested ratio and
+returns exact ground-truth labels:
+
+* point outliers — additive spikes of several signal standard deviations on
+  a random subset of dimensions;
+* collective outliers — contiguous segments replaced by a level shift, a
+  noise burst, or a flatline (the classic collective-anomaly archetypes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["inject_outliers", "inject_point_outliers", "inject_collective_outliers"]
+
+
+def inject_point_outliers(values, labels, count, rng, magnitude=(3.0, 8.0),
+                          dim_fraction=0.6):
+    """Add ``count`` spike outliers in place; flips the matching labels."""
+    length, dims = values.shape
+    scale = np.maximum(values.std(axis=0), 1e-3)
+    free = np.flatnonzero(labels == 0)
+    if free.size == 0 or count <= 0:
+        return
+    chosen = rng.choice(free, size=min(count, free.size), replace=False)
+    for t in chosen:
+        hit = rng.random(dims) < dim_fraction
+        if not hit.any():
+            hit[rng.integers(dims)] = True
+        sign = rng.choice([-1.0, 1.0], size=dims)
+        size = rng.uniform(*magnitude, size=dims)
+        values[t, hit] += (sign * size * scale)[hit]
+        labels[t] = 1
+
+
+def inject_collective_outliers(values, labels, total_points, rng,
+                               segment_length=(5, 25)):
+    """Plant contiguous anomalous segments totalling ``total_points`` points."""
+    length, dims = values.shape
+    scale = np.maximum(values.std(axis=0), 1e-3)
+    budget = int(total_points)
+    attempts = 0
+    while budget > 0 and attempts < 200:
+        attempts += 1
+        seg = int(rng.integers(segment_length[0], segment_length[1] + 1))
+        seg = min(seg, budget) if budget >= segment_length[0] else budget
+        seg = max(seg, 2)
+        start = int(rng.integers(0, max(length - seg, 1)))
+        window = slice(start, start + seg)
+        if labels[window].any():
+            continue
+        kind = rng.choice(["shift", "burst", "flatline"])
+        if kind == "shift":
+            shift = rng.uniform(2.5, 6.0, size=dims) * rng.choice([-1, 1], size=dims)
+            values[window] += shift * scale
+        elif kind == "burst":
+            values[window] += rng.standard_normal((seg, dims)) * 4.0 * scale
+        else:  # flatline at an offset level
+            values[window] = values[start] + rng.uniform(1.5, 3.0) * scale
+        labels[window] = 1
+        budget -= seg
+    return
+
+
+def inject_outliers(values, ratio, rng, collective_share=0.5,
+                    segment_length=(5, 25), magnitude=(3.0, 8.0)):
+    """Inject point + collective outliers at ``ratio`` of the observations.
+
+    Parameters
+    ----------
+    values: array ``(C, D)`` — modified *in place* (pass a copy to keep the
+        clean version, as the SYN generator does).
+    ratio: target fraction of labelled observations.
+    collective_share: fraction of the outlier budget spent on segments.
+
+    Returns the label array ``(C,)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    length = values.shape[0]
+    labels = np.zeros(length, dtype=np.int64)
+    total = int(round(ratio * length))
+    if total <= 0:
+        return labels
+    collective_budget = int(round(total * collective_share))
+    inject_collective_outliers(
+        values, labels, collective_budget, rng, segment_length=segment_length
+    )
+    remaining = total - int(labels.sum())
+    inject_point_outliers(values, labels, remaining, rng, magnitude=magnitude)
+    return labels

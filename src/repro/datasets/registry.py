@@ -1,0 +1,41 @@
+"""Dataset registry: load any paper dataset by name with a common signature."""
+
+from __future__ import annotations
+
+from . import generators
+
+__all__ = ["DATASET_GENERATORS", "available_datasets", "load_dataset"]
+
+DATASET_GENERATORS = {
+    "GD": generators.generate_gd,
+    "HSS": generators.generate_hss,
+    "ECG": generators.generate_ecg,
+    "NAB": generators.generate_nab,
+    "S5": generators.generate_s5,
+    "2D": generators.generate_2d,
+    "SYN": generators.generate_syn,
+}
+
+
+def available_datasets():
+    """Names of the seven paper datasets, in the paper's table order."""
+    return list(DATASET_GENERATORS)
+
+
+def load_dataset(name, seed=0, scale=1.0, **kwargs):
+    """Generate the surrogate for dataset ``name``.
+
+    Parameters
+    ----------
+    name: one of :func:`available_datasets` (case-insensitive).
+    seed: generator seed — the same seed always yields the same data.
+    scale: length multiplier in (0, 1]; benchmarks use small scales.
+    kwargs: forwarded to the specific generator (e.g. ``outlier_ratio``
+        for SYN, ``num_series`` for S5).
+    """
+    key = name.upper()
+    if key not in DATASET_GENERATORS:
+        raise KeyError(
+            "unknown dataset %r; available: %s" % (name, ", ".join(DATASET_GENERATORS))
+        )
+    return DATASET_GENERATORS[key](seed=seed, scale=scale, **kwargs)

@@ -1,0 +1,112 @@
+"""Reusable clean-signal building blocks for the surrogate generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sinusoid_mix",
+    "square_cycle",
+    "sawtooth",
+    "ar_process",
+    "random_walk",
+    "ecg_beat_train",
+    "trajectory_2d",
+]
+
+
+def sinusoid_mix(length, periods, amplitudes=None, phases=None, rng=None):
+    """Sum of sinusoids: the seasonal backbone of most surrogates."""
+    t = np.arange(length, dtype=np.float64)
+    periods = np.atleast_1d(periods).astype(np.float64)
+    if amplitudes is None:
+        amplitudes = np.ones_like(periods)
+    if phases is None:
+        phases = (
+            np.zeros_like(periods)
+            if rng is None
+            else rng.uniform(0, 2 * np.pi, size=periods.size)
+        )
+    out = np.zeros(length)
+    for period, amp, phase in zip(periods, np.atleast_1d(amplitudes), np.atleast_1d(phases)):
+        out += amp * np.sin(2 * np.pi * t / period + phase)
+    return out
+
+
+def square_cycle(length, period, duty=0.5, phase=0.0, smooth=2):
+    """Smoothed square wave — robot pick-and-place actuator cycles (GD)."""
+    t = np.arange(length, dtype=np.float64)
+    raw = ((t / period + phase) % 1.0 < duty).astype(np.float64) * 2.0 - 1.0
+    if smooth > 1:
+        kernel = np.ones(smooth) / smooth
+        raw = np.convolve(raw, kernel, mode="same")
+    return raw
+
+
+def sawtooth(length, period, phase=0.0):
+    """Sawtooth ramp — conveyor-belt positions in the HSS surrogate."""
+    t = np.arange(length, dtype=np.float64)
+    return 2.0 * ((t / period + phase) % 1.0) - 1.0
+
+
+def ar_process(length, coeffs, noise_scale=1.0, rng=None):
+    """Autoregressive process ``x_t = sum_i coeffs[i] x_{t-i-1} + eps`` (SYN)."""
+    rng = np.random.default_rng() if rng is None else rng
+    coeffs = np.atleast_1d(coeffs).astype(np.float64)
+    order = coeffs.size
+    burn = 5 * order + 50
+    eps = rng.standard_normal(length + burn) * noise_scale
+    x = np.zeros(length + burn)
+    for t in range(order, length + burn):
+        x[t] = coeffs @ x[t - order : t][::-1] + eps[t]
+    return x[burn:]
+
+
+def random_walk(length, step_scale=1.0, rng=None):
+    """Gaussian random walk — exchange-rate style NAB channel."""
+    rng = np.random.default_rng() if rng is None else rng
+    return np.cumsum(rng.standard_normal(length) * step_scale)
+
+
+def _gaussian_bump(t, centre, width, height):
+    return height * np.exp(-0.5 * ((t - centre) / width) ** 2)
+
+
+def ecg_beat_train(length, beat_period=60, rng=None, jitter=0.02):
+    """Quasi-periodic PQRST-like waveform (ECG surrogate).
+
+    Each beat is a sum of five Gaussian bumps (P, Q, R, S, T); beat-to-beat
+    period jitter makes the series realistically non-stationary.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    out = np.zeros(length)
+    t = np.arange(length, dtype=np.float64)
+    centre = float(beat_period) / 2.0
+    while centre < length + beat_period:
+        scale = beat_period / 60.0
+        for offset, width, height in (
+            (-18.0, 3.5, 0.15),   # P
+            (-4.0, 1.2, -0.25),   # Q
+            (0.0, 1.6, 1.0),      # R
+            (4.0, 1.4, -0.35),    # S
+            (16.0, 4.5, 0.3),     # T
+        ):
+            out += _gaussian_bump(t, centre + offset * scale, width * scale, height)
+        centre += beat_period * (1.0 + jitter * rng.standard_normal())
+    return out
+
+
+def trajectory_2d(length, harmonics=4, rng=None):
+    """Smooth 2D trajectory from a random low-order Fourier series (2D dataset).
+
+    Mimics hand-writing trajectories: closed-ish, smooth, band-limited.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    t = np.linspace(0.0, 2.0 * np.pi, length)
+    xy = np.zeros((length, 2))
+    for axis in range(2):
+        for k in range(1, harmonics + 1):
+            amp = rng.standard_normal() / k
+            phase = rng.uniform(0, 2 * np.pi)
+            xy[:, axis] += amp * np.sin(k * t * rng.integers(1, 4) + phase)
+    return xy

@@ -1,0 +1,36 @@
+"""Evaluation harness: method registry, protocol, suite runner, tables."""
+
+from .harness import SuiteResult, run_suite, significance_against_best_baseline
+from .methods import (
+    AE_METHODS,
+    METHODS,
+    NEURAL_METHODS,
+    SEARCH_SPACES,
+    available_methods,
+    make_detector,
+)
+from .protocol import (
+    TrialResult,
+    evaluate_on_dataset,
+    random_search_median,
+    sample_configurations,
+)
+from .tables import render_sweep, render_table
+
+__all__ = [
+    "METHODS",
+    "SEARCH_SPACES",
+    "NEURAL_METHODS",
+    "AE_METHODS",
+    "available_methods",
+    "make_detector",
+    "TrialResult",
+    "sample_configurations",
+    "random_search_median",
+    "evaluate_on_dataset",
+    "SuiteResult",
+    "run_suite",
+    "significance_against_best_baseline",
+    "render_table",
+    "render_sweep",
+]

@@ -1,0 +1,105 @@
+"""Experiment harness: run method suites over the dataset registry.
+
+Drives the Table II / Table III reproduction and the per-figure sweeps; the
+benchmark modules under ``benchmarks/`` are thin wrappers around these
+functions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..datasets import load_dataset
+from ..metrics import paired_t_test
+from .methods import make_detector
+from .protocol import evaluate_on_dataset
+
+__all__ = ["SuiteResult", "run_suite", "significance_against_best_baseline"]
+
+
+@dataclasses.dataclass
+class SuiteResult:
+    """Accuracy grid: ``pr[dataset][method]`` and ``roc[dataset][method]``."""
+
+    pr: dict
+    roc: dict
+    methods: list
+    datasets: list
+
+    def averages(self, metric="pr"):
+        """Per-method average over datasets (the tables' "Avg." row)."""
+        grid = getattr(self, metric)
+        return {
+            m: float(np.mean([grid[d][m] for d in self.datasets]))
+            for m in self.methods
+        }
+
+    def column(self, method, metric="pr"):
+        """Per-dataset results of one method, in dataset order."""
+        grid = getattr(self, metric)
+        return [grid[d][method] for d in self.datasets]
+
+
+def _trim(dataset, max_series):
+    if max_series is None or len(dataset) <= max_series:
+        return dataset
+    dataset.series = dataset.series[:max_series]
+    return dataset
+
+
+def run_suite(methods, dataset_names, scale=0.05, seed=0, max_series=2,
+              overrides=None, dataset_kwargs=None):
+    """Evaluate ``methods`` on ``dataset_names`` at the given scale.
+
+    Parameters
+    ----------
+    methods: iterable of method names (see :mod:`repro.eval.methods`).
+    scale: dataset length multiplier (1.0 = paper-sized).
+    max_series: series per dataset cap (None = all).
+    overrides: {method: kwargs} applied when constructing detectors.
+    dataset_kwargs: {dataset: kwargs} forwarded to the generators.
+    """
+    overrides = overrides or {}
+    dataset_kwargs = dataset_kwargs or {}
+    methods = list(methods)
+    dataset_names = list(dataset_names)
+    pr_grid = {d: {} for d in dataset_names}
+    roc_grid = {d: {} for d in dataset_names}
+    for dataset_name in dataset_names:
+        dataset = _trim(
+            load_dataset(
+                dataset_name, seed=seed, scale=scale,
+                **dataset_kwargs.get(dataset_name, {})
+            ),
+            max_series,
+        )
+        for method in methods:
+            kwargs = overrides.get(method, {})
+            pr, roc = evaluate_on_dataset(
+                lambda m=method, kw=kwargs: make_detector(m, **kw), dataset
+            )
+            pr_grid[dataset_name][method] = pr
+            roc_grid[dataset_name][method] = roc
+    return SuiteResult(pr=pr_grid, roc=roc_grid, methods=methods,
+                       datasets=dataset_names)
+
+
+def significance_against_best_baseline(result, proposed=("RAE", "RDAE"),
+                                       metric="pr"):
+    """Paired t-tests of each proposed method against every baseline.
+
+    Pairs are matched by dataset (the paper's "average results of all
+    datasets" comparison).  Returns {proposed: {baseline: p_value}}.
+    """
+    baselines = [m for m in result.methods if m not in proposed]
+    out = {}
+    for method in proposed:
+        ours = result.column(method, metric)
+        out[method] = {}
+        for baseline in baselines:
+            theirs = result.column(baseline, metric)
+            __, p_value = paired_t_test(ours, theirs)
+            out[method][baseline] = p_value
+    return out

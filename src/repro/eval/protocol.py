@@ -1,0 +1,90 @@
+"""The paper's hyperparameter protocol (Section V-A).
+
+Unsupervised detection forbids tuning on labels, so the paper explores each
+method's hyperparameter space with random search and reports the *median*
+result over the explored configurations — never the best.  This module
+implements that protocol with a configurable draw count (the paper uses 200;
+benchmarks here use fewer draws on the scaled substrate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..metrics import pr_auc, roc_auc
+from .methods import SEARCH_SPACES, make_detector
+
+__all__ = ["TrialResult", "sample_configurations", "random_search_median",
+           "evaluate_on_dataset"]
+
+
+@dataclasses.dataclass
+class TrialResult:
+    """Result of one hyperparameter configuration on one dataset."""
+
+    config: dict
+    pr: float
+    roc: float
+
+
+def sample_configurations(space, n_draws, rng):
+    """Draw ``n_draws`` random combinations from a {name: values} space.
+
+    Duplicate draws are allowed (matching plain random search); an empty
+    space yields a single empty configuration.
+    """
+    if not space:
+        return [{}]
+    configs = []
+    for __ in range(int(n_draws)):
+        configs.append({key: values[rng.integers(len(values))]
+                        for key, values in space.items()})
+    return configs
+
+
+def evaluate_on_dataset(detector_factory, dataset):
+    """Mean PR/ROC of a detector factory over all series of a dataset.
+
+    A fresh detector is built per series (the transductive protocol).
+    Series whose labels are single-class are skipped (AUCs undefined).
+    """
+    prs, rocs = [], []
+    for ts in dataset:
+        if ts.labels.sum() in (0, ts.labels.size):
+            continue
+        scores = detector_factory().fit_score(ts)
+        prs.append(pr_auc(ts.labels, scores))
+        rocs.append(roc_auc(ts.labels, scores))
+    if not prs:
+        raise ValueError("dataset %r has no evaluable series" % dataset.name)
+    return float(np.mean(prs)), float(np.mean(rocs))
+
+
+def random_search_median(method, dataset, n_draws=5, seed=0, **fixed):
+    """Run the median-of-random-search protocol for one method.
+
+    Parameters
+    ----------
+    method: method name from :mod:`repro.eval.methods`.
+    dataset: a :class:`repro.datasets.Dataset`.
+    n_draws: random configurations to evaluate (paper: 200).
+    fixed: overrides applied to every configuration (e.g. scaled-down
+        iteration counts).
+
+    Returns ``(median_trial, all_trials)`` where the median is taken over
+    PR-AUC (ties broken toward the lower ROC, matching "median result").
+    """
+    rng = np.random.default_rng(seed)
+    space = SEARCH_SPACES.get(method, {})
+    trials = []
+    for config in sample_configurations(space, n_draws, rng):
+        merged = {**config, **fixed}
+        pr, roc = evaluate_on_dataset(
+            lambda: make_detector(method, **merged), dataset
+        )
+        trials.append(TrialResult(config=merged, pr=pr, roc=roc))
+    ordered = sorted(trials, key=lambda t: (t.pr, t.roc))
+    median = ordered[(len(ordered) - 1) // 2]
+    return median, trials

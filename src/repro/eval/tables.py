@@ -1,0 +1,53 @@
+"""Render SuiteResults in the layout of the paper's Tables II and III."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_sweep"]
+
+
+def render_table(result, metric="pr", title=None, highlight_best=True):
+    """Format an accuracy grid as fixed-width text.
+
+    Rows are datasets (plus the "Avg." row), columns are methods; the best
+    value per row is marked with ``*`` like the paper's bold face.
+    """
+    grid = getattr(result, metric)
+    methods = result.methods
+    lines = []
+    if title:
+        lines.append(title)
+    header = "%-6s" % "" + "".join("%9s" % m for m in methods)
+    lines.append(header)
+
+    def row(name, values):
+        best = max(values.values()) if highlight_best else None
+        cells = []
+        for m in methods:
+            mark = "*" if highlight_best and values[m] == best else " "
+            cells.append("%8.3f%s" % (values[m], mark))
+        return "%-6s" % name + "".join(cells)
+
+    for dataset in result.datasets:
+        lines.append(row(dataset, grid[dataset]))
+    lines.append(row("Avg.", result.averages(metric)))
+    return "\n".join(lines)
+
+
+def render_sweep(sweep, value_label="value", title=None):
+    """Format a {method: {x: score}} sweep (the Fig. 6-15 style results)."""
+    lines = []
+    if title:
+        lines.append(title)
+    methods = list(sweep)
+    xs = sorted({x for curve in sweep.values() for x in curve})
+    lines.append("%-12s" % value_label + "".join("%10s" % m for m in methods))
+    for x in xs:
+        cells = []
+        for m in methods:
+            v = sweep[m].get(x)
+            cells.append("%10s" % ("-" if v is None else "%.3f" % v))
+        label = "%.4g" % x if isinstance(x, float) else str(x)
+        lines.append("%-12s" % label + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Post-hoc explainability analysis (Section IV)."""
+
+from .channels import channel_contributions, dominant_channels
+from .prm import es_prm, polynomial_fit, prm_rmse_curve
+from .report import ExplainabilityReport, analyze_methods, extract_clean_series
+from .ssa_score import es_ssa, ssa_rmse_curve
+
+__all__ = [
+    "polynomial_fit",
+    "prm_rmse_curve",
+    "es_prm",
+    "ssa_rmse_curve",
+    "es_ssa",
+    "extract_clean_series",
+    "ExplainabilityReport",
+    "analyze_methods",
+    "channel_contributions",
+    "dominant_channels",
+]

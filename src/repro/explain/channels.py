@@ -1,0 +1,62 @@
+"""Per-channel attribution of multivariate outlier scores.
+
+Section VI discusses unsupervised root-cause methods that "identify the most
+anomalous channel for each detected outlier observation" (Rad et al., DEBS
+2021).  The paper's own scoring (Eq. 13) makes this attribution free: the
+outlier series ``T_S`` is per-channel, so the squared entries decompose the
+score ``||s_S_i||^2`` exactly into channel contributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["channel_contributions", "dominant_channels"]
+
+
+def channel_contributions(outlier_series, normalize=True):
+    """Per-observation, per-channel score contributions ``(C, D)``.
+
+    Parameters
+    ----------
+    outlier_series: the decomposed ``T_S`` of a fitted RAE/RDAE/RSSA
+        (``detector.outlier_series``).
+    normalize: when True each row sums to 1 (rows that are all zero stay
+        zero), giving a share-of-blame view; when False raw squared values
+        are returned and rows sum to the observation's outlier score.
+    """
+    arr = np.asarray(outlier_series, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("outlier series must be 2D (C, D), got %dD" % arr.ndim)
+    squared = arr**2
+    if not normalize:
+        return squared
+    totals = squared.sum(axis=1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    return squared / safe
+
+
+def dominant_channels(outlier_series, labels_or_indices=None):
+    """Most anomalous channel per observation (the Rad et al. output).
+
+    Parameters
+    ----------
+    outlier_series: the decomposed ``T_S`` ``(C, D)``.
+    labels_or_indices: optional — restrict the report to these observation
+        indices (e.g. detected outliers); a boolean mask is also accepted.
+
+    Returns an array of channel indices, one per (selected) observation;
+    observations with an all-zero ``T_S`` row get channel ``-1``.
+    """
+    arr = np.asarray(outlier_series, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError("outlier series must be 2D (C, D), got %dD" % arr.ndim)
+    squared = arr**2
+    winners = squared.argmax(axis=1)
+    winners[squared.sum(axis=1) == 0] = -1
+    if labels_or_indices is None:
+        return winners
+    selector = np.asarray(labels_or_indices)
+    if selector.dtype == bool:
+        return winners[selector]
+    return winners[selector.astype(int)]

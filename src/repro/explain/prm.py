@@ -1,0 +1,57 @@
+"""PRM-based post-hoc explainability score (Section IV-B, Eq. 18).
+
+The clean series ``T_L`` returned by an AE method is fitted with polynomial
+regression models of increasing degree ``N``; the explainability score
+``ES_PRM`` is the smallest ``N`` whose fit achieves ``RMSE < gamma``.  A
+smaller score means a simpler function explains the clean series, i.e. the
+method is more explainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics import rmse
+
+__all__ = ["polynomial_fit", "prm_rmse_curve", "es_prm"]
+
+
+def polynomial_fit(series, degree):
+    """Least-squares polynomial fit ``T^(N)_PRM`` of each dimension.
+
+    Time is rescaled to [0, 1] before building the Vandermonde design so
+    high degrees stay numerically stable.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[:, None]
+    length = arr.shape[0]
+    t = np.linspace(0.0, 1.0, length)
+    design = np.vander(t, int(degree) + 1, increasing=True)
+    coeffs, *_ = np.linalg.lstsq(design, arr, rcond=None)
+    fitted = design @ coeffs
+    return fitted[:, 0] if squeeze else fitted
+
+
+def prm_rmse_curve(clean_series, degrees=(1, 3, 5, 7, 9)):
+    """RMSE of the best degree-``N`` polynomial fit for each ``N``.
+
+    This is the quantity plotted in Fig. 16a (RMSE vs ``N`` per method).
+    """
+    arr = np.asarray(clean_series, dtype=np.float64)
+    return {int(n): rmse(polynomial_fit(arr, n), arr) for n in degrees}
+
+
+def es_prm(clean_series, gamma, degrees=(1, 3, 5, 7, 9)):
+    """The explainability score of Eq. 18.
+
+    Returns the smallest ``N`` in ``degrees`` with ``RMSE < gamma``, or
+    ``None`` when no tested degree achieves the threshold (the paper reports
+    such methods as "not explainable by up to degree 9").
+    """
+    curve = prm_rmse_curve(clean_series, degrees)
+    for n in sorted(curve):
+        if curve[n] < gamma:
+            return n
+    return None

@@ -1,0 +1,131 @@
+"""Post-hoc explainability comparison across AE-based methods (Fig. 16).
+
+The analysis needs each method's *clean series*: for RAE/RDAE/RSSA that is
+the decomposed ``T_L``; for plain autoencoders it is the reconstructed
+series; for RandNet the ensemble-average reconstruction (Section V-B,
+"Explainability").  :func:`extract_clean_series` hides those differences.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..baselines.base import as_series
+from ..baselines.neural import NeuralWindowDetector
+from ..baselines.randnet import RandNet
+from ..baselines.rda import RDA
+from ..tsops import overlap_average, standardize
+from .prm import es_prm, prm_rmse_curve
+from .ssa_score import es_ssa, ssa_rmse_curve
+
+__all__ = ["extract_clean_series", "ExplainabilityReport", "analyze_methods"]
+
+
+def extract_clean_series(detector, series):
+    """Return the clean series a fitted detector implies for ``series``.
+
+    Preference order: an explicit ``clean_series`` attribute (RAE, RDAE,
+    N-RAE, N-RDAE, RSSA), a RandNet ensemble-average reconstruction, or the
+    overlap-averaged window reconstructions of any neural window detector.
+    """
+    clean = getattr(detector, "clean_series", None)
+    if clean is not None:
+        return np.asarray(clean)
+    if isinstance(detector, RandNet):
+        recons, starts, width, length = detector.reconstructions(series)
+        mean_recon = recons.mean(axis=0)  # (num_windows, width, D)
+        dims = mean_recon.shape[2]
+        out = np.stack(
+            [
+                overlap_average(mean_recon[:, :, d], starts, width, length)
+                for d in range(dims)
+            ],
+            axis=1,
+        )
+        return out
+    if isinstance(detector, NeuralWindowDetector):
+        arr, windows, starts, width = detector._prepare(series)
+        with nn.no_grad():
+            recon = detector._reconstruct(detector.model_, nn.Tensor(windows)).data
+        dims = recon.shape[2]
+        return np.stack(
+            [
+                overlap_average(recon[:, :, d], starts, width, arr.shape[0])
+                for d in range(dims)
+            ],
+            axis=1,
+        )
+    if isinstance(detector, RDA):
+        arr, windows, starts, width = detector._prepare(series)
+        flat = windows.reshape(windows.shape[0], -1)
+        with nn.no_grad():
+            recon = detector.model_(nn.Tensor(flat)).data.reshape(windows.shape)
+        dims = recon.shape[2]
+        return np.stack(
+            [
+                overlap_average(recon[:, :, d], starts, width, arr.shape[0])
+                for d in range(dims)
+            ],
+            axis=1,
+        )
+    raise TypeError(
+        "cannot extract a clean series from %s" % type(detector).__name__
+    )
+
+
+@dataclasses.dataclass
+class ExplainabilityReport:
+    """PRM and SSA explainability results for a set of methods.
+
+    ``prm_curves`` / ``ssa_curves`` map method name -> {N: RMSE};
+    ``scores`` maps method name -> {"ES_PRM": n, "ES_SSA": n} for the given
+    ``gamma`` thresholds (``None`` = not explainable within tested N).
+    """
+
+    prm_curves: dict
+    ssa_curves: dict
+    scores: dict
+    gamma_prm: float
+    gamma_ssa: float
+
+    def ranking(self, metric="ES_PRM"):
+        """Method names sorted most-explainable first (None ranks last)."""
+        def key(name):
+            value = self.scores[name][metric]
+            return (value is None, value if value is not None else np.inf)
+
+        return sorted(self.scores, key=key)
+
+
+def analyze_methods(fitted_detectors, series, gamma_prm=0.5, gamma_ssa=0.15,
+                    degrees=(1, 3, 5, 7, 9)):
+    """Run the full Fig. 16 analysis.
+
+    Parameters
+    ----------
+    fitted_detectors: mapping name -> fitted detector.
+    series: the series the detectors were fitted on.
+    gamma_prm / gamma_ssa: RMSE thresholds of Eqs. 18 / 19.
+    """
+    arr = standardize(as_series(series))
+    prm_curves, ssa_curves, scores = {}, {}, {}
+    for name, detector in fitted_detectors.items():
+        clean = extract_clean_series(detector, series)
+        if clean.shape != arr.shape:
+            raise ValueError("clean series shape mismatch for %s" % name)
+        prm_curves[name] = prm_rmse_curve(clean, degrees)
+        ssa_curves[name] = ssa_rmse_curve(clean, degrees)
+        scores[name] = {
+            "ES_PRM": es_prm(clean, gamma_prm, degrees),
+            "ES_SSA": es_ssa(clean, gamma_ssa, degrees),
+        }
+    return ExplainabilityReport(
+        prm_curves=prm_curves,
+        ssa_curves=ssa_curves,
+        scores=scores,
+        gamma_prm=gamma_prm,
+        gamma_ssa=gamma_ssa,
+    )

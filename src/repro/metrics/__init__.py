@@ -1,0 +1,36 @@
+"""Evaluation metrics: ranking AUCs, reconstruction errors, significance."""
+
+from .errors import mae, relative_frobenius, rmse
+from .ranking import (
+    best_f1,
+    pr_auc,
+    precision_at_k,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from .stats import paired_t_test, welch_t_test
+from .thresholds import (
+    apply_threshold,
+    mad_threshold,
+    pot_threshold,
+    quantile_threshold,
+)
+
+__all__ = [
+    "pr_auc",
+    "roc_auc",
+    "roc_curve",
+    "precision_recall_curve",
+    "precision_at_k",
+    "best_f1",
+    "rmse",
+    "mae",
+    "relative_frobenius",
+    "paired_t_test",
+    "welch_t_test",
+    "quantile_threshold",
+    "mad_threshold",
+    "pot_threshold",
+    "apply_threshold",
+]

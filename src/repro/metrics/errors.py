@@ -1,0 +1,31 @@
+"""Reconstruction-error metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rmse", "mae", "relative_frobenius"]
+
+
+def rmse(a, b):
+    """Root mean squared error between two equal-shape arrays."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("shape mismatch: %s vs %s" % (a.shape, b.shape))
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def mae(a, b):
+    """Mean absolute error."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return float(np.mean(np.abs(a - b)))
+
+
+def relative_frobenius(a, b):
+    """``||a - b||_F / ||b||_F`` — the stopping-condition quantity of Alg. 1/2."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    denom = np.linalg.norm(b)
+    return float(np.linalg.norm(a - b) / max(denom, 1e-12))

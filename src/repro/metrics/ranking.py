@@ -1,0 +1,101 @@
+"""Threshold-free ranking metrics: ROC-AUC and PR-AUC (Section V-A).
+
+The paper evaluates detectors with the areas under the ROC and
+precision-recall curves so that no outlier-score threshold has to be chosen.
+Both are implemented from first principles (scikit-learn is unavailable
+offline); ties in the scores are handled by grouping, and PR-AUC follows the
+step-wise interpolation of Davis & Goadrich (the same convention as
+``sklearn.metrics.average_precision_score``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc", "pr_auc", "roc_curve", "precision_recall_curve",
+           "precision_at_k", "best_f1"]
+
+
+def _validate(labels, scores):
+    labels = np.asarray(labels).astype(np.float64).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have equal length")
+    if not np.isin(np.unique(labels), (0.0, 1.0)).all():
+        raise ValueError("labels must be binary (0/1)")
+    return labels, scores
+
+
+def roc_curve(labels, scores):
+    """False-positive and true-positive rates over all thresholds.
+
+    Returns ``(fpr, tpr)`` arrays, both starting at 0 and ending at 1.
+    """
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    scores = scores[order]
+    # Collapse ties: evaluate only at the last index of each distinct score.
+    distinct = np.where(np.diff(scores))[0]
+    idx = np.concatenate([distinct, [labels.size - 1]])
+    tps = np.cumsum(labels)[idx]
+    fps = (idx + 1) - tps
+    total_pos = labels.sum()
+    total_neg = labels.size - total_pos
+    tpr = np.concatenate([[0.0], tps / max(total_pos, 1)])
+    fpr = np.concatenate([[0.0], fps / max(total_neg, 1)])
+    return fpr, tpr
+
+
+def roc_auc(labels, scores):
+    """Area under the ROC curve; 0.5 for random scores, NaN-free by design."""
+    labels, scores = _validate(labels, scores)
+    if labels.sum() in (0, labels.size):
+        raise ValueError("ROC-AUC undefined: labels are single-class")
+    fpr, tpr = roc_curve(labels, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(labels, scores):
+    """Precision and recall over all thresholds (highest score first)."""
+    labels, scores = _validate(labels, scores)
+    order = np.argsort(-scores, kind="mergesort")
+    labels = labels[order]
+    scores = scores[order]
+    distinct = np.where(np.diff(scores))[0]
+    idx = np.concatenate([distinct, [labels.size - 1]])
+    tps = np.cumsum(labels)[idx]
+    predicted = idx + 1.0
+    precision = tps / predicted
+    recall = tps / max(labels.sum(), 1)
+    return precision, recall
+
+
+def pr_auc(labels, scores):
+    """Area under the precision-recall curve (average precision).
+
+    Computed as ``sum_k (R_k - R_{k-1}) * P_k`` — the step-function integral
+    used by average precision, which avoids the optimism of trapezoidal
+    PR interpolation.
+    """
+    labels, scores = _validate(labels, scores)
+    if labels.sum() == 0:
+        raise ValueError("PR-AUC undefined: no positive labels")
+    precision, recall = precision_recall_curve(labels, scores)
+    recall = np.concatenate([[0.0], recall])
+    return float(np.sum(np.diff(recall) * precision))
+
+
+def precision_at_k(labels, scores, k):
+    """Fraction of true outliers among the top-``k`` scored observations."""
+    labels, scores = _validate(labels, scores)
+    k = int(np.clip(k, 1, labels.size))
+    top = np.argsort(-scores, kind="mergesort")[:k]
+    return float(labels[top].mean())
+
+
+def best_f1(labels, scores):
+    """Best F1 over all thresholds (a common secondary metric)."""
+    precision, recall = precision_recall_curve(labels, scores)
+    f1 = 2 * precision * recall / np.maximum(precision + recall, 1e-12)
+    return float(f1.max())

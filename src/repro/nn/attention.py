@@ -1,0 +1,82 @@
+"""Attention layers for the Transformer-autoencoder (TAE) baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import softmax
+from .layers import LayerNorm, Linear, Module, ReLU, Sequential
+from .tensor import Tensor
+
+__all__ = ["MultiHeadAttention", "PositionalEncoding", "TransformerEncoderLayer"]
+
+
+class MultiHeadAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Operates on ``(N, T, d_model)``; ``d_model`` must be divisible by the
+    number of heads.
+    """
+
+    def __init__(self, d_model, num_heads, rng=None):
+        super().__init__()
+        if d_model % num_heads != 0:
+            raise ValueError("d_model %d not divisible by %d heads" % (d_model, num_heads))
+        self.d_model = d_model
+        self.num_heads = num_heads
+        self.d_head = d_model // num_heads
+        self.proj_q = Linear(d_model, d_model, rng=rng)
+        self.proj_k = Linear(d_model, d_model, rng=rng)
+        self.proj_v = Linear(d_model, d_model, rng=rng)
+        self.proj_out = Linear(d_model, d_model, rng=rng)
+
+    def _split_heads(self, x):
+        n, t, __ = x.shape
+        return x.reshape(n, t, self.num_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def forward(self, x):
+        n, t, __ = x.shape
+        q = self._split_heads(self.proj_q(x))  # (N, H, T, dh)
+        k = self._split_heads(self.proj_k(x))
+        v = self._split_heads(self.proj_v(x))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(self.d_head))
+        weights = softmax(scores, axis=-1)
+        mixed = weights @ v  # (N, H, T, dh)
+        merged = mixed.transpose(0, 2, 1, 3).reshape(n, t, self.d_model)
+        return self.proj_out(merged)
+
+
+class PositionalEncoding(Module):
+    """Additive sinusoidal positional encoding (Vaswani et al.)."""
+
+    def __init__(self, d_model, max_len=4096):
+        super().__init__()
+        position = np.arange(max_len)[:, None]
+        div = np.exp(np.arange(0, d_model, 2) * (-np.log(10000.0) / d_model))
+        table = np.zeros((max_len, d_model))
+        table[:, 0::2] = np.sin(position * div)
+        table[:, 1::2] = np.cos(position * div)[:, : d_model // 2]
+        self._table = table
+
+    def forward(self, x):
+        t = x.shape[1]
+        return x + Tensor(self._table[:t][None, :, :])
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block: attention + position-wise FFN."""
+
+    def __init__(self, d_model, num_heads, d_ff=None, rng=None):
+        super().__init__()
+        d_ff = d_ff or 2 * d_model
+        self.attention = MultiHeadAttention(d_model, num_heads, rng=rng)
+        self.norm1 = LayerNorm(d_model)
+        self.norm2 = LayerNorm(d_model)
+        self.ffn = Sequential(
+            Linear(d_model, d_ff, rng=rng), ReLU(), Linear(d_ff, d_model, rng=rng)
+        )
+
+    def forward(self, x):
+        x = x + self.attention(self.norm1(x))
+        x = x + self.ffn(self.norm2(x))
+        return x

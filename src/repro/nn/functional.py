@@ -1,0 +1,251 @@
+"""Structured autograd operations: convolutions, pooling, padding, softmax.
+
+These primitives complete the :mod:`repro.nn` substrate.  Convolutions use an
+im2col formulation (``numpy.lib.stride_tricks.sliding_window_view`` +
+``einsum``), which keeps the forward pass vectorised; backward passes scatter
+gradients back with ``np.add.at``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "pad1d",
+    "pad2d",
+    "conv1d",
+    "conv2d",
+    "max_pool1d",
+    "max_pool2d",
+    "upsample1d",
+    "upsample2d",
+    "softmax",
+    "dropout",
+]
+
+
+def pad1d(x, padding):
+    """Zero-pad the last axis of a ``(N, C, L)`` tensor by ``padding`` each side."""
+    x = as_tensor(x)
+    if padding == 0:
+        return x
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad[:, :, padding:-padding])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def pad2d(x, padding):
+    """Zero-pad the last two axes of a ``(N, C, H, W)`` tensor."""
+    x = as_tensor(x)
+    if padding == 0:
+        return x
+    p = padding
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(grad[:, :, p:-p, p:-p])
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def conv1d(x, weight, bias=None, padding=0):
+    """1D convolution (stride 1).
+
+    Parameters
+    ----------
+    x: Tensor ``(N, C_in, L)``
+    weight: Tensor ``(C_out, C_in, K)``
+    bias: optional Tensor ``(C_out,)``
+    padding: symmetric zero padding on the length axis.
+    """
+    x = pad1d(as_tensor(x), padding)
+    weight = as_tensor(weight)
+    n, c_in, length = x.shape
+    c_out, c_in_w, k = weight.shape
+    if c_in != c_in_w:
+        raise ValueError("channel mismatch: %d vs %d" % (c_in, c_in_w))
+    if length < k:
+        raise ValueError("input length %d shorter than kernel %d" % (length, k))
+    cols = sliding_window_view(x.data, k, axis=2)  # (N, C_in, L_out, K)
+    out_data = np.einsum("nclk,fck->nfl", cols, weight.data, optimize=True)
+    if bias is not None:
+        bias = as_tensor(bias)
+        out_data = out_data + bias.data[None, :, None]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        # grad: (N, C_out, L_out)
+        if weight.requires_grad:
+            gw = np.einsum("nfl,nclk->fck", grad, cols, optimize=True)
+            weight._accumulate(gw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if x.requires_grad:
+            gx_cols = np.einsum("nfl,fck->nclk", grad, weight.data, optimize=True)
+            gx = np.zeros_like(x.data)
+            l_out = grad.shape[2]
+            # Scatter each kernel tap back onto the input axis.
+            for tap in range(k):
+                gx[:, :, tap : tap + l_out] += gx_cols[:, :, :, tap]
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def conv2d(x, weight, bias=None, padding=0):
+    """2D convolution (stride 1).
+
+    Parameters
+    ----------
+    x: Tensor ``(N, C_in, H, W)``
+    weight: Tensor ``(C_out, C_in, KH, KW)``
+    """
+    x = pad2d(as_tensor(x), padding)
+    weight = as_tensor(weight)
+    n, c_in, h, w = x.shape
+    c_out, c_in_w, kh, kw = weight.shape
+    if c_in != c_in_w:
+        raise ValueError("channel mismatch: %d vs %d" % (c_in, c_in_w))
+    if h < kh or w < kw:
+        raise ValueError("input %s smaller than kernel %s" % ((h, w), (kh, kw)))
+    cols = sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    # cols: (N, C_in, H_out, W_out, KH, KW)
+    out_data = np.einsum("nchwij,fcij->nfhw", cols, weight.data, optimize=True)
+    if bias is not None:
+        bias = as_tensor(bias)
+        out_data = out_data + bias.data[None, :, None, None]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        if weight.requires_grad:
+            gw = np.einsum("nfhw,nchwij->fcij", grad, cols, optimize=True)
+            weight._accumulate(gw)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            gx_cols = np.einsum("nfhw,fcij->nchwij", grad, weight.data, optimize=True)
+            gx = np.zeros_like(x.data)
+            h_out, w_out = grad.shape[2], grad.shape[3]
+            for i in range(kh):
+                for j in range(kw):
+                    gx[:, :, i : i + h_out, j : j + w_out] += gx_cols[:, :, :, :, i, j]
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def max_pool1d(x, kernel=2):
+    """Max pooling on ``(N, C, L)`` with stride == kernel.
+
+    Trailing elements that do not fill a window are dropped, matching the
+    usual floor-mode pooling semantics.
+    """
+    x = as_tensor(x)
+    n, c, length = x.shape
+    l_out = length // kernel
+    trimmed = x.data[:, :, : l_out * kernel].reshape(n, c, l_out, kernel)
+    arg = trimmed.argmax(axis=3)
+    out_data = np.take_along_axis(trimmed, arg[..., None], axis=3)[..., 0]
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            view = gx[:, :, : l_out * kernel].reshape(n, c, l_out, kernel)
+            np.put_along_axis(view, arg[..., None], grad[..., None], axis=3)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def max_pool2d(x, kernel=2):
+    """Max pooling on ``(N, C, H, W)`` with stride == kernel on both axes."""
+    x = as_tensor(x)
+    n, c, h, w = x.shape
+    h_out, w_out = h // kernel, w // kernel
+    trimmed = x.data[:, :, : h_out * kernel, : w_out * kernel]
+    windows = trimmed.reshape(n, c, h_out, kernel, w_out, kernel)
+    windows = windows.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, h_out, w_out, -1)
+    arg = windows.argmax(axis=4)
+    out_data = np.take_along_axis(windows, arg[..., None], axis=4)[..., 0]
+
+    def backward(grad):
+        if x.requires_grad:
+            gwin = np.zeros_like(windows)
+            np.put_along_axis(gwin, arg[..., None], grad[..., None], axis=4)
+            gwin = gwin.reshape(n, c, h_out, w_out, kernel, kernel)
+            gwin = gwin.transpose(0, 1, 2, 4, 3, 5).reshape(
+                n, c, h_out * kernel, w_out * kernel
+            )
+            gx = np.zeros_like(x.data)
+            gx[:, :, : h_out * kernel, : w_out * kernel] = gwin
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def upsample1d(x, factor=2, size=None):
+    """Nearest-neighbour upsampling on the length axis of ``(N, C, L)``.
+
+    If ``size`` is given the output is truncated or edge-padded to exactly
+    that length, which lets decoders invert floor-mode pooling.
+    """
+    x = as_tensor(x)
+    out_data = np.repeat(x.data, factor, axis=2)
+    length = out_data.shape[2]
+    target = length if size is None else size
+    index = np.minimum(np.arange(target) // factor, x.shape[2] - 1)
+
+    out_data = x.data[:, :, index]
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            np.add.at(gx, (slice(None), slice(None), index), grad)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def upsample2d(x, factor=2, size=None):
+    """Nearest-neighbour upsampling on the last two axes of ``(N, C, H, W)``."""
+    x = as_tensor(x)
+    h, w = x.shape[2], x.shape[3]
+    th, tw = (h * factor, w * factor) if size is None else size
+    row = np.minimum(np.arange(th) // factor, h - 1)
+    col = np.minimum(np.arange(tw) // factor, w - 1)
+    out_data = x.data[:, :, row[:, None], col[None, :]]
+
+    def backward(grad):
+        if x.requires_grad:
+            gx = np.zeros_like(x.data)
+            np.add.at(gx, (slice(None), slice(None), row[:, None], col[None, :]), grad)
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def softmax(x, axis=-1):
+    """Numerically-stable softmax built from autograd primitives."""
+    x = as_tensor(x)
+    shifted = x - x.data.max(axis=axis, keepdims=True)
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def dropout(x, p, rng, training=True):
+    """Inverted dropout: zero with probability ``p`` and rescale by 1/(1-p)."""
+    x = as_tensor(x)
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,33 @@
+"""Weight initialisation helpers for :mod:`repro.nn` modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_DEFAULT_SEED = 0
+_global_rng = np.random.default_rng(_DEFAULT_SEED)
+
+
+def seed(value):
+    """Re-seed the global RNG used by module constructors without an ``rng``."""
+    global _global_rng
+    _global_rng = np.random.default_rng(value)
+
+
+def default_rng(rng=None):
+    """Return ``rng`` if provided, otherwise the module-level generator."""
+    return _global_rng if rng is None else rng
+
+
+def xavier_uniform(shape, fan_in, fan_out, rng=None):
+    """Glorot/Xavier uniform initialisation."""
+    rng = default_rng(rng)
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape, fan_in, rng=None):
+    """He/Kaiming uniform initialisation for ReLU networks."""
+    rng = default_rng(rng)
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)

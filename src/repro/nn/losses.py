@@ -1,0 +1,66 @@
+"""Loss functions used across the paper's methods and baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "mse_loss",
+    "l1_loss",
+    "bce_with_logits",
+    "gaussian_nll",
+    "kl_diag_gaussian",
+]
+
+
+def mse_loss(prediction, target):
+    """Mean squared error; ``target`` is detached."""
+    prediction = as_tensor(prediction)
+    target = np.asarray(target.data if isinstance(target, Tensor) else target)
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction, target):
+    """Mean absolute error; ``target`` is detached."""
+    prediction = as_tensor(prediction)
+    target = np.asarray(target.data if isinstance(target, Tensor) else target)
+    return (prediction - Tensor(target)).abs().mean()
+
+
+def bce_with_logits(logits, target):
+    """Binary cross-entropy from logits, numerically stable.
+
+    Uses the identity ``max(z, 0) - z*y + log(1 + exp(-|z|))``.
+    """
+    logits = as_tensor(logits)
+    target = np.asarray(target.data if isinstance(target, Tensor) else target)
+    relu_z = logits.relu()
+    abs_z = logits.abs()
+    soft = (1.0 + (-abs_z).exp()).log()
+    return (relu_z - logits * Tensor(target) + soft).mean()
+
+
+def gaussian_nll(mean, log_var, target):
+    """Negative log-likelihood of ``target`` under a diagonal Gaussian.
+
+    Averaged over all elements; constants are kept so values are comparable
+    across models (used by the Donut / OmniAnomaly baselines).
+    """
+    mean = as_tensor(mean)
+    log_var = as_tensor(log_var)
+    target = np.asarray(target.data if isinstance(target, Tensor) else target)
+    diff = Tensor(target) - mean
+    inv_var = (-log_var).exp()
+    nll = 0.5 * (log_var + diff * diff * inv_var + float(np.log(2.0 * np.pi)))
+    return nll.mean()
+
+
+def kl_diag_gaussian(mean, log_var):
+    """KL( N(mean, var) || N(0, I) ), averaged over all elements."""
+    mean = as_tensor(mean)
+    log_var = as_tensor(log_var)
+    kl = 0.5 * (log_var.exp() + mean * mean - log_var - 1.0)
+    return kl.mean()

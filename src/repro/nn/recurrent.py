@@ -1,0 +1,96 @@
+"""Recurrent layers: an LSTM used by the RNNAE and OmniAnomaly baselines.
+
+The recurrence is unrolled with autograd primitives, so backpropagation
+through time falls out of the ordinary :meth:`Tensor.backward` pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import default_rng, xavier_uniform
+from .layers import Module, Parameter
+from .tensor import Tensor, concatenate, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """Single LSTM step with fused gate weights.
+
+    Gate layout in the fused matrices is ``[input, forget, cell, output]``.
+    The forget-gate bias is initialised to 1, the standard trick that keeps
+    memory alive early in training.
+    """
+
+    def __init__(self, input_size, hidden_size, rng=None):
+        super().__init__()
+        rng = default_rng(rng)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_x = Parameter(
+            xavier_uniform(
+                (input_size, 4 * hidden_size), input_size, hidden_size, rng
+            )
+        )
+        self.weight_h = Parameter(
+            xavier_uniform(
+                (hidden_size, 4 * hidden_size), hidden_size, hidden_size, rng
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0
+        self.bias = Parameter(bias)
+
+    def forward(self, x, state):
+        """Advance one step.
+
+        Parameters
+        ----------
+        x: Tensor ``(N, input_size)``
+        state: tuple ``(h, c)`` of Tensors ``(N, hidden_size)``
+        """
+        h_prev, c_prev = state
+        gates = x @ self.weight_x + h_prev @ self.weight_h + self.bias
+        hs = self.hidden_size
+        i_gate = gates[:, 0 * hs : 1 * hs].sigmoid()
+        f_gate = gates[:, 1 * hs : 2 * hs].sigmoid()
+        g_gate = gates[:, 2 * hs : 3 * hs].tanh()
+        o_gate = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c = f_gate * c_prev + i_gate * g_gate
+        h = o_gate * c.tanh()
+        return h, c
+
+
+class LSTM(Module):
+    """Multi-step LSTM over ``(N, T, D)`` inputs.
+
+    Returns the full hidden sequence ``(N, T, H)`` and the final ``(h, c)``.
+    """
+
+    def __init__(self, input_size, hidden_size, rng=None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x, state=None):
+        n, steps, __ = x.shape
+        if state is None:
+            h = Tensor(np.zeros((n, self.hidden_size)))
+            c = Tensor(np.zeros((n, self.hidden_size)))
+        else:
+            h, c = state
+        outputs = []
+        for t in range(steps):
+            h, c = self.cell(x[:, t, :], (h, c))
+            outputs.append(h)
+        return stack(outputs, axis=1), (h, c)
+
+
+def repeat_hidden(h, steps):
+    """Tile a ``(N, H)`` hidden state into a ``(N, steps, H)`` sequence.
+
+    Used by sequence-to-sequence autoencoders whose decoder consumes the
+    encoder's final state at every step.
+    """
+    return concatenate([h.reshape(h.shape[0], 1, h.shape[1])] * steps, axis=1)

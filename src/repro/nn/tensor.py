@@ -1,0 +1,437 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the foundation of the :mod:`repro.nn` substrate.  The paper's
+methods were implemented on PyTorch 1.1; since no deep-learning framework is
+available offline, we provide a small but complete autograd engine with the
+same semantics: a :class:`Tensor` wraps an ``np.ndarray``, records the
+operations applied to it, and :meth:`Tensor.backward` propagates gradients
+through the recorded graph in reverse topological order.
+
+Gradient correctness of every primitive is verified against central finite
+differences in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
+
+_GRAD_ENABLED = True
+
+
+class no_grad:
+    """Context manager that disables graph construction (like torch.no_grad)."""
+
+    def __enter__(self):
+        global _GRAD_ENABLED
+        self._prev = _GRAD_ENABLED
+        _GRAD_ENABLED = False
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._prev
+        return False
+
+
+def is_grad_enabled():
+    """Return True when operations record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad, shape):
+    """Sum ``grad`` down to ``shape``, undoing NumPy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def as_tensor(value, requires_grad=False):
+    """Coerce ``value`` (array-like or Tensor) to a :class:`Tensor`."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=np.float64), requires_grad=requires_grad)
+
+
+class Tensor:
+    """A NumPy array with reverse-mode autograd.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; stored as ``float64``.
+    requires_grad:
+        When True, gradients w.r.t. this tensor are accumulated in ``.grad``
+        during :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev")
+
+    def __init__(self, data, requires_grad=False, _prev=()):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward = None
+        self._prev = tuple(_prev) if _GRAD_ENABLED else ()
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self):
+        return self.data.shape
+
+    @property
+    def ndim(self):
+        return self.data.ndim
+
+    @property
+    def size(self):
+        return self.data.size
+
+    def numpy(self):
+        """Return the underlying array (detached view)."""
+        return self.data
+
+    def item(self):
+        return float(self.data)
+
+    def detach(self):
+        """Return a new Tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self):
+        self.grad = None
+
+    def __repr__(self):
+        return "Tensor(shape=%s, requires_grad=%s)" % (
+            self.shape,
+            self.requires_grad,
+        )
+
+    # ------------------------------------------------------------------ #
+    # graph machinery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data, parents, backward):
+        """Create a graph node from ``parents`` with backward closure."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
+        if requires:
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad):
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad=None):
+        """Backpropagate ``grad`` (default: ones for scalars) through the graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("grad must be supplied for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        # Topological order via iterative DFS (avoids recursion limits on
+        # long unrolled recurrent graphs).
+        topo, visited, stack = [], set(), [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other):
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(-grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other):
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    _unbroadcast(-grad * self.data / other.data**2, other.shape)
+                )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other):
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad):
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    g = np.multiply.outer(grad, other.data)
+                else:
+                    g = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(g, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    g = np.multiply.outer(self.data, grad)
+                else:
+                    g = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(_unbroadcast(g, other.shape))
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise nonlinearities
+    # ------------------------------------------------------------------ #
+    def relu(self):
+        mask = self.data > 0
+        out_data = self.data * mask
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * mask)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def leaky_relu(self, slope=0.01):
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, slope * self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * np.where(mask, 1.0, slope))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * (1.0 - out_data**2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self):
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def exp(self):
+        out_data = np.exp(np.clip(self.data, -700.0, 700.0))
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self):
+        out_data = np.log(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad / self.data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sqrt(self):
+        out_data = np.sqrt(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def abs(self):
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * sign)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions and shape ops
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims=False):
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            if not self.requires_grad:
+                return
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            self._accumulate(np.broadcast_to(g, self.shape))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims=False):
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+        original = self.shape
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.reshape(original))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes):
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad.transpose(inverse))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __getitem__(self, key):
+        out_data = self.data[key]
+
+        def backward(grad):
+            if self.requires_grad:
+                full = np.zeros_like(self.data)
+                np.add.at(full, key, grad)
+                self._accumulate(full)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def clip_value(self, low, high):
+        """Clip with straight-through gradient inside the interval."""
+        inside = (self.data >= low) & (self.data <= high)
+        out_data = np.clip(self.data, low, high)
+
+        def backward(grad):
+            if self.requires_grad:
+                self._accumulate(grad * inside)
+
+        return Tensor._make(out_data, (self,), backward)
+
+
+def concatenate(tensors, axis=0):
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(lo, hi)
+                t._accumulate(grad[tuple(index)])
+
+    return Tensor._make(out_data, tuple(tensors), backward)
+
+
+def stack(tensors, axis=0):
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        parts = np.moveaxis(grad, axis, 0)
+        for t, g in zip(tensors, parts):
+            if t.requires_grad:
+                t._accumulate(g)
+
+    return Tensor._make(out_data, tuple(tensors), backward)

@@ -1,0 +1,18 @@
+"""Robust Principal Component Analysis substrate (Section II-B of the paper)."""
+
+from .pcp import PCPResult, robust_pca
+from .prox import (
+    group_soft_threshold,
+    hard_threshold,
+    singular_value_threshold,
+    soft_threshold,
+)
+
+__all__ = [
+    "PCPResult",
+    "robust_pca",
+    "soft_threshold",
+    "hard_threshold",
+    "group_soft_threshold",
+    "singular_value_threshold",
+]

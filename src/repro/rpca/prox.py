@@ -1,0 +1,64 @@
+"""Proximal operators used by RPCA and by the RAE/RDAE training loops.
+
+The paper relaxes the ``l0`` sparsity penalty to ``l1`` (Eq. 14) and solves
+the sparse sub-problem with a proximal step (PROX in Algorithms 1 and 2).
+The proximal operator of ``lam * ||.||_1`` is elementwise soft-thresholding;
+the proximal operator of the nuclear norm is singular-value thresholding,
+which is what classic RPCA (principal component pursuit) iterates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "soft_threshold",
+    "hard_threshold",
+    "singular_value_threshold",
+    "group_soft_threshold",
+]
+
+
+def soft_threshold(values, threshold):
+    """Elementwise soft-thresholding: ``prox_{threshold * ||.||_1}``.
+
+    ``S(x, t) = sign(x) * max(|x| - t, 0)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return np.sign(values) * np.maximum(np.abs(values) - threshold, 0.0)
+
+
+def hard_threshold(values, threshold):
+    """Elementwise hard-thresholding: ``prox`` of the l0 penalty.
+
+    Keeps entries with ``|x| > threshold`` unchanged and zeroes the rest.
+    Used in the l0-vs-l1 ablation (DESIGN.md §6).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    return np.where(np.abs(values) > threshold, values, 0.0)
+
+
+def group_soft_threshold(values, threshold, axis=-1):
+    """Row/column-group soft-thresholding (prox of the l2,1 norm).
+
+    Shrinks whole groups (e.g. all channels of one observation) toward zero,
+    which models outliers that hit every dimension of an observation at once.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    norms = np.linalg.norm(values, axis=axis, keepdims=True)
+    scale = np.maximum(1.0 - threshold / np.maximum(norms, 1e-12), 0.0)
+    return values * scale
+
+
+def singular_value_threshold(matrix, threshold):
+    """Singular-value thresholding: ``prox`` of ``threshold * ||.||_*``.
+
+    Returns the thresholded matrix and the number of singular values kept
+    (the effective rank), which PCP uses to monitor progress.
+    """
+    u, s, vt = np.linalg.svd(np.asarray(matrix, dtype=np.float64), full_matrices=False)
+    s_shrunk = np.maximum(s - threshold, 0.0)
+    rank = int(np.count_nonzero(s_shrunk))
+    if rank == 0:
+        return np.zeros_like(matrix), 0
+    return (u[:, :rank] * s_shrunk[:rank]) @ vt[:rank], rank

@@ -1,0 +1,115 @@
+"""Lagged-matrix (Hankel) embedding and its inverse (Section III-C).
+
+RDAE embeds a time series ``T = <s_1..s_C>`` (each ``s_i`` in ``R^D``) into a
+lagged matrix ``M`` of shape ``(B, K, D)`` with ``K = C - B + 1``::
+
+    M[i, j] = s_{i + j}          (0-based)
+
+so anti-diagonals ``i + j = t`` all hold observation ``s_t``: ``M`` is a
+Hankel matrix per dimension.  The inverse maps an arbitrary ``(B, K, D)``
+array back to a series by *anti-diagonal averaging* — the Hankelization
+operator ``H`` of Golyandina et al. followed by the lag-matrix inverse, which
+is exact on true Hankel matrices and the least-squares projection otherwise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "embed_lagged",
+    "deembed_lagged",
+    "hankelize",
+    "hankel_weights",
+]
+
+
+def _as_series(series):
+    """Coerce to a 2D ``(C, D)`` float array."""
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if arr.ndim != 2:
+        raise ValueError("series must be 1D or 2D, got %dD" % arr.ndim)
+    return arr
+
+
+def embed_lagged(series, window):
+    """Embed a ``(C, D)`` series into a ``(B, K, D)`` lagged matrix.
+
+    Parameters
+    ----------
+    series: array ``(C,)`` or ``(C, D)``.
+    window: the lag ``B``; must satisfy ``1 <= B <= C``.
+    """
+    arr = _as_series(series)
+    length = arr.shape[0]
+    if not 1 <= window <= length:
+        raise ValueError("window %d out of range for series of length %d" % (window, length))
+    k = length - window + 1
+    # sliding_window_view over the time axis gives (K, D, B); reorder to (B, K, D).
+    view = np.lib.stride_tricks.sliding_window_view(arr, window, axis=0)
+    return np.ascontiguousarray(view.transpose(2, 0, 1))
+
+
+def hankel_weights(window, k):
+    """Number of lagged-matrix cells holding each observation.
+
+    For a series of length ``C = B + K - 1`` observation ``t`` appears
+    ``min(t+1, B, K, C-t)`` times; these counts are the anti-diagonal
+    lengths used for averaging.
+    """
+    length = window + k - 1
+    t = np.arange(length)
+    return np.minimum.reduce([t + 1, np.full(length, window), np.full(length, k), length - t])
+
+
+def deembed_lagged(matrix, method="average"):
+    """Map a ``(B, K, D)`` array back to a ``(C, D)`` series.
+
+    Parameters
+    ----------
+    method:
+        ``'average'`` (default) — anti-diagonal averaging, the least-squares
+        projection used by SSA and the paper's Hankelization operator;
+        ``'endpoint'`` — read each observation from a single cell (first row
+        / last column), the cheap alternative ablated in DESIGN.md §6.  Both
+        are exact on true Hankel matrices; they differ on the non-Hankel
+        outputs of a neural decoder.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[:, :, None]
+    if arr.ndim != 3:
+        raise ValueError("lagged matrix must be 2D or 3D, got %dD" % arr.ndim)
+    window, k, dims = arr.shape
+    length = window + k - 1
+    if method == "endpoint":
+        # Observation t sits at M[0, t] while t < K, then at M[t-K+1, K-1].
+        head = arr[0, :, :]
+        tail = arr[1:, k - 1, :]
+        return np.concatenate([head, tail], axis=0)
+    if method != "average":
+        raise ValueError("method must be 'average' or 'endpoint', got %r" % method)
+    sums = np.zeros((length, dims))
+    # Accumulate each row i onto positions i .. i+K-1.
+    for i in range(window):
+        sums[i : i + k] += arr[i]
+    weights = hankel_weights(window, k)[:, None]
+    return sums / weights
+
+
+def hankelize(matrix):
+    """Project a ``(B, K, D)`` array onto the nearest Hankel matrix.
+
+    Anti-diagonal averaging followed by re-embedding; idempotent, and the
+    identity on matrices that are already Hankel.  This is the operator
+    ``H(.)`` applied to ``L`` and ``S`` in the RDAE outer loop.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    squeeze = arr.ndim == 2
+    if squeeze:
+        arr = arr[:, :, None]
+    series = deembed_lagged(arr)
+    out = embed_lagged(series, arr.shape[0])
+    return out[:, :, 0] if squeeze else out

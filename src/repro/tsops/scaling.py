@@ -1,0 +1,32 @@
+"""Per-dimension scaling transforms applied before detectors are fit."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["standardize", "minmax_scale", "robust_scale"]
+
+
+def standardize(series, eps=1e-9):
+    """Zero-mean, unit-variance scaling per dimension."""
+    arr = np.asarray(series, dtype=np.float64)
+    mean = arr.mean(axis=0, keepdims=True)
+    std = arr.std(axis=0, keepdims=True)
+    return (arr - mean) / np.maximum(std, eps)
+
+
+def minmax_scale(series, eps=1e-9):
+    """Scale each dimension into [0, 1]."""
+    arr = np.asarray(series, dtype=np.float64)
+    lo = arr.min(axis=0, keepdims=True)
+    hi = arr.max(axis=0, keepdims=True)
+    return (arr - lo) / np.maximum(hi - lo, eps)
+
+
+def robust_scale(series, eps=1e-9):
+    """Median / IQR scaling — insensitive to the very outliers we hunt."""
+    arr = np.asarray(series, dtype=np.float64)
+    median = np.median(arr, axis=0, keepdims=True)
+    q75 = np.percentile(arr, 75, axis=0, keepdims=True)
+    q25 = np.percentile(arr, 25, axis=0, keepdims=True)
+    return (arr - median) / np.maximum(q75 - q25, eps)

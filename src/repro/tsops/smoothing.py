@@ -1,0 +1,84 @@
+"""Smoothing primitives: exponential moving average, moving average, loess.
+
+EMA is one of the paper's baselines (Brown's simple exponential smoothing);
+the moving average feeds the RDAE+MA ablation; loess is the local-regression
+smoother inside our STL implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ema", "moving_average", "loess"]
+
+
+def ema(series, alpha=0.3):
+    """Exponential moving average along the time axis.
+
+    ``y_t = alpha * x_t + (1 - alpha) * y_{t-1}``; older observations receive
+    exponentially decaying weight, exactly the EMA baseline of Section V-A.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError("alpha must be in (0, 1], got %r" % alpha)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[:, None]
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    decay = 1.0 - alpha
+    for t in range(1, arr.shape[0]):
+        out[t] = alpha * arr[t] + decay * out[t - 1]
+    return out[:, 0] if squeeze else out
+
+
+def moving_average(series, width):
+    """Centred moving average with edge shrinking (window clipped at ends)."""
+    arr = np.asarray(series, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[:, None]
+    length = arr.shape[0]
+    width = int(np.clip(width, 1, length))
+    half = width // 2
+    cumsum = np.vstack([np.zeros((1, arr.shape[1])), np.cumsum(arr, axis=0)])
+    lo = np.maximum(np.arange(length) - half, 0)
+    hi = np.minimum(np.arange(length) + half + 1, length)
+    out = (cumsum[hi] - cumsum[lo]) / (hi - lo)[:, None]
+    return out[:, 0] if squeeze else out
+
+
+def loess(y, window, degree=1, x=None):
+    """Locally-weighted polynomial regression with tricube weights.
+
+    Evaluates the loess fit at every point of ``y`` using the ``window``
+    nearest neighbours.  ``degree`` 0 (local mean), 1 (local line) and 2 are
+    supported; STL uses degree 1.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        raise ValueError("loess operates on 1D arrays")
+    length = y.size
+    if x is None:
+        x = np.arange(length, dtype=np.float64)
+    window = int(np.clip(window, degree + 2, length))
+    half = window // 2
+    out = np.empty(length)
+    for i in range(length):
+        lo = int(np.clip(i - half, 0, length - window))
+        hi = lo + window
+        xs = x[lo:hi]
+        ys = y[lo:hi]
+        dist = np.abs(xs - x[i])
+        max_dist = dist.max()
+        if max_dist == 0:
+            out[i] = ys.mean()
+            continue
+        w = (1.0 - (dist / max_dist) ** 3) ** 3
+        w = np.maximum(w, 1e-9)
+        # Weighted polynomial least squares, centred for conditioning.
+        design = np.vander(xs - x[i], degree + 1, increasing=True)
+        wd = design * w[:, None]
+        coeffs, *_ = np.linalg.lstsq(wd.T @ design, wd.T @ ys, rcond=None)
+        out[i] = coeffs[0]
+    return out

@@ -1,0 +1,96 @@
+"""Singular Spectrum Analysis (Golyandina et al.), per-dimension.
+
+SSA embeds a series into its lagged (Hankel) matrix, computes the SVD, and
+reconstructs elementary series from the rank-1 terms by anti-diagonal
+averaging.  It serves three roles in the paper: a smoothing baseline
+(Section V-A), the backbone of the RSSA baseline (SVD replaced by RPCA, see
+:mod:`repro.tsops.rssa`), and the component decomposition behind the
+``ES_SSA`` explainability score (Eq. 19).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .hankel import deembed_lagged, embed_lagged
+
+__all__ = ["SSADecomposition", "ssa_decompose", "ssa_reconstruct", "default_window"]
+
+
+def default_window(length, psi=2.0):
+    """Window-length heuristic of Khan & Poskitt: ``B = (ln C)^psi``.
+
+    The paper cites this rule in the "Effect of B" study (Section V-B);
+    ``psi`` must lie in (1.5, 3.0).
+    """
+    if not 1.5 < psi < 3.0:
+        raise ValueError("psi must be in (1.5, 3.0), got %r" % psi)
+    window = int(round(np.log(max(length, 3)) ** psi))
+    return int(np.clip(window, 2, max(2, length // 2)))
+
+
+@dataclasses.dataclass
+class SSADecomposition:
+    """SSA of one series.
+
+    Attributes
+    ----------
+    components: array ``(R, C, D)`` — elementary reconstructed series,
+        ordered by decreasing singular value (summed over dimensions).
+    singular_values: array ``(R, D)`` of singular values per dimension.
+    window: the embedding window ``B``.
+    """
+
+    components: np.ndarray
+    singular_values: np.ndarray
+    window: int
+
+    def reconstruct(self, top_n):
+        """Sum of the ``top_n`` most important components: ``T^(N)_SSA``."""
+        top_n = int(min(max(top_n, 0), self.components.shape[0]))
+        if top_n == 0:
+            return np.zeros(self.components.shape[1:])
+        return self.components[:top_n].sum(axis=0)
+
+
+def ssa_decompose(series, window=None, max_components=None):
+    """Decompose a ``(C, D)`` series into elementary SSA components.
+
+    Each dimension is decomposed independently; components are merged across
+    dimensions by singular-value rank so ``components[0]`` is the globally
+    dominant (trend-like) part.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    length, dims = arr.shape
+    if window is None:
+        window = default_window(length)
+    window = int(np.clip(window, 2, length - 1))
+    lagged = embed_lagged(arr, window)  # (B, K, D)
+    rank_cap = min(window, lagged.shape[1])
+    if max_components is not None:
+        rank_cap = min(rank_cap, max_components)
+
+    components = np.zeros((rank_cap, length, dims))
+    singular_values = np.zeros((rank_cap, dims))
+    for d in range(dims):
+        u, s, vt = np.linalg.svd(lagged[:, :, d], full_matrices=False)
+        for r in range(rank_cap):
+            rank1 = np.outer(u[:, r] * s[r], vt[r])
+            components[r, :, d] = deembed_lagged(rank1[:, :, None])[:, 0]
+            singular_values[r, d] = s[r]
+    # Order components by total energy across dimensions.
+    order = np.argsort(-singular_values.sum(axis=1))
+    return SSADecomposition(
+        components=components[order],
+        singular_values=singular_values[order],
+        window=window,
+    )
+
+
+def ssa_reconstruct(series, window=None, top_n=3):
+    """Convenience: smooth ``series`` with its ``top_n`` SSA components."""
+    return ssa_decompose(series, window=window, max_components=max(top_n, 1)).reconstruct(top_n)

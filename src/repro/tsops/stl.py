@@ -1,0 +1,122 @@
+"""Seasonal-Trend decomposition using Loess (Cleveland et al., 1990).
+
+Implements the STL inner loop: cycle-subseries loess smoothing for the
+seasonal component, a low-pass filter (two moving averages plus loess) to
+remove residual trend from the seasonal part, and loess smoothing of the
+deseasonalised series for the trend.  This replaces the statsmodels STL the
+paper used (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .smoothing import loess, moving_average
+
+__all__ = ["STLResult", "stl_decompose", "estimate_period"]
+
+
+def estimate_period(series, min_period=4, max_period=None):
+    """Estimate the dominant period from the autocorrelation peak.
+
+    Used when callers do not supply a seasonal period.  Falls back to
+    ``min_period`` when no clear peak exists (e.g. white noise).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr.mean(axis=1)
+    length = arr.size
+    # Remove a linear trend first: otherwise the autocorrelation decays from
+    # lag 0 and the argmax collapses onto the minimum lag.
+    t = np.arange(length, dtype=np.float64)
+    slope, intercept = np.polyfit(t, arr, 1)
+    arr = arr - (slope * t + intercept)
+    if max_period is None:
+        max_period = max(min_period + 1, length // 3)
+    spectrum = np.abs(np.fft.rfft(arr, n=2 * length)) ** 2
+    acf = np.fft.irfft(spectrum)[:length]
+    if acf[0] <= 0:
+        return min_period
+    acf = acf / acf[0]
+    lo, hi = min_period, min(max_period, length - 2)
+    if hi <= lo:
+        return min_period
+    # Prefer the *first* prominent local maximum: the global argmax often
+    # lands on a harmonic multiple of the true period.
+    for lag in range(lo, hi):
+        if acf[lag] > 0.3 and acf[lag] >= acf[lag - 1] and acf[lag] >= acf[lag + 1]:
+            return int(lag)
+    lag = lo + int(np.argmax(acf[lo:hi]))
+    return int(lag) if acf[lag] > 0.1 else min_period
+
+
+@dataclasses.dataclass
+class STLResult:
+    """Additive decomposition ``series = trend + seasonal + residual``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+    period: int
+
+
+def _stl_1d(y, period, seasonal_window, trend_window, iterations):
+    length = y.size
+    trend = np.zeros(length)
+    seasonal = np.zeros(length)
+    for __ in range(iterations):
+        detrended = y - trend
+        # Cycle-subseries smoothing: loess over each phase of the period.
+        cycle = np.empty(length)
+        for phase in range(period):
+            idx = np.arange(phase, length, period)
+            if idx.size < 3:
+                cycle[idx] = detrended[idx].mean() if idx.size else 0.0
+                continue
+            cycle[idx] = loess(detrended[idx], min(seasonal_window, idx.size))
+        # Low-pass the cycle component so the seasonal part holds no trend.
+        lowpass = moving_average(moving_average(cycle, period), period)
+        lowpass = loess(lowpass, min(trend_window, length))
+        seasonal = cycle - lowpass
+        deseasonalised = y - seasonal
+        trend = loess(deseasonalised, min(trend_window, length))
+    residual = y - trend - seasonal
+    return trend, seasonal, residual
+
+
+def stl_decompose(series, period=None, seasonal_window=7, trend_window=None,
+                  iterations=2):
+    """Decompose a ``(C,)`` or ``(C, D)`` series with STL.
+
+    Parameters
+    ----------
+    period: seasonal period; estimated from the autocorrelation if omitted.
+    seasonal_window: loess window for the cycle subseries (paper's ``S``).
+    trend_window: loess window for the trend (paper's ``T``); defaults to
+        the smallest odd integer ≥ ``1.5 * period``.
+    iterations: STL inner-loop iterations.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    squeeze = arr.ndim == 1
+    if squeeze:
+        arr = arr[:, None]
+    length, dims = arr.shape
+    if period is None:
+        period = estimate_period(arr)
+    period = int(np.clip(period, 2, max(2, length // 2)))
+    if trend_window is None:
+        trend_window = int(1.5 * period) | 1
+    trend_window = max(trend_window, 5)
+
+    trend = np.empty_like(arr)
+    seasonal = np.empty_like(arr)
+    residual = np.empty_like(arr)
+    for d in range(dims):
+        trend[:, d], seasonal[:, d], residual[:, d] = _stl_1d(
+            arr[:, d], period, seasonal_window, trend_window, iterations
+        )
+    if squeeze:
+        trend, seasonal, residual = trend[:, 0], seasonal[:, 0], residual[:, 0]
+    return STLResult(trend=trend, seasonal=seasonal, residual=residual, period=period)

@@ -1,0 +1,63 @@
+"""Sliding-window segmentation for window-based detectors.
+
+Neural baselines (CNNAE, RNNAE, Donut, ...) train on fixed-width windows cut
+from the series and score observations by averaging the reconstruction error
+of every window covering them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sliding_windows", "overlap_average", "window_count"]
+
+
+def window_count(length, width, stride):
+    """Number of windows of ``width`` at ``stride`` fitting a series of ``length``."""
+    if width > length:
+        return 0
+    return (length - width) // stride + 1
+
+
+def sliding_windows(series, width, stride=1):
+    """Cut a ``(C, D)`` series into ``(num, width, D)`` windows.
+
+    The stride is clamped to the width so consecutive windows always touch,
+    and the tail is covered by adding a final window ending at the last
+    observation when the stride does not land exactly — together these
+    guarantee every observation is covered by at least one window.
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    length = arr.shape[0]
+    if width > length:
+        raise ValueError("window width %d exceeds series length %d" % (width, length))
+    stride = int(np.clip(stride, 1, width))
+    starts = list(range(0, length - width + 1, stride))
+    if starts[-1] != length - width:
+        starts.append(length - width)
+    return np.stack([arr[s : s + width] for s in starts]), np.asarray(starts)
+
+
+def overlap_average(values, starts, width, length):
+    """Average per-window, per-position values back onto the series.
+
+    Parameters
+    ----------
+    values: array ``(num, width)`` of per-position scores for each window.
+    starts: window start indices as returned by :func:`sliding_windows`.
+    width: window width.
+    length: original series length.
+
+    Returns an array ``(length,)``; positions covered by several windows get
+    the mean of their scores.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    total = np.zeros(length)
+    count = np.zeros(length)
+    for row, start in zip(values, starts):
+        total[start : start + width] += row
+        count[start : start + width] += 1.0
+    count[count == 0] = 1.0
+    return total / count

@@ -1,0 +1,73 @@
+"""Text visualisations for terminals: sparklines, score strips, decomposition.
+
+Offline-friendly replacements for the paper's matplotlib figures — Fig. 1's
+reconstruction/error curves and Fig. 5's clean/outlier panels render as
+unicode-free ASCII, usable in logs and CI output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "score_strip", "render_decomposition"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(series, width=80):
+    """Render a 1D series as a one-line character sparkline."""
+    arr = np.asarray(series, dtype=np.float64).ravel()
+    if arr.size == 0:
+        return ""
+    width = max(int(width), 1)
+    idx = np.linspace(0, arr.size - 1, min(width, arr.size)).astype(int)
+    sampled = arr[idx]
+    lo, hi = sampled.min(), sampled.max()
+    span = max(hi - lo, 1e-12)
+    levels = ((sampled - lo) / span * (len(_BLOCKS) - 1)).astype(int)
+    return "".join(_BLOCKS[v] for v in levels)
+
+
+def score_strip(values, scores, labels=None, start=0, stop=None, bar_width=20):
+    """Per-observation rows: waveform position, score bar, truth marker.
+
+    Parameters
+    ----------
+    values: array ``(C,)`` or ``(C, D)`` (first dimension is drawn).
+    scores: array ``(C,)`` of outlier scores.
+    labels: optional 0/1 ground truth; labelled rows get a ``!`` marker.
+    start / stop: row range to render.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 2:
+        arr = arr[:, 0]
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    stop = arr.size if stop is None else min(stop, arr.size)
+    start = max(int(start), 0)
+    segment = arr[start:stop]
+    seg_scores = scores[start:stop]
+    v_scale = max(np.abs(segment).max(), 1e-12)
+    s_scale = max(seg_scores.max(), 1e-12)
+    lines = []
+    for offset, t in enumerate(range(start, stop)):
+        wave = int(10 + 9 * segment[offset] / v_scale)
+        lane = [" "] * 21
+        lane[int(np.clip(wave, 0, 20))] = "o"
+        bar = "#" * int(bar_width * seg_scores[offset] / s_scale)
+        marker = "!" if labels is not None and labels[t] else ""
+        lines.append("t=%-6d %s %s%s" % (t, "".join(lane), bar, marker))
+    return "\n".join(lines)
+
+
+def render_decomposition(original, clean, outlier, width=80):
+    """Fig. 1-style three-row view: input, T_L, and T_S as sparklines."""
+    rows = [
+        ("input T", original),
+        ("clean T_L", clean),
+        ("outlier T_S", outlier),
+    ]
+    longest = max(len(name) for name, __ in rows)
+    return "\n".join(
+        "%-*s |%s|" % (longest, name, sparkline(series, width))
+        for name, series in rows
+    )

@@ -1,0 +1,124 @@
+"""Classical baselines: each must rank planted outliers high, plus API checks."""
+
+import numpy as np
+import pytest
+
+from repro import baselines
+from repro.metrics import roc_auc
+
+CLASSICAL = [
+    lambda: baselines.LOF(n_neighbors=10, context=3),
+    lambda: baselines.IsolationForest(n_trees=30, subsample=64),
+    lambda: baselines.OneClassSVM(window=12, iterations=120),
+    lambda: baselines.EMADetector(pattern_size=10),
+    lambda: baselines.STLDetector(),
+    lambda: baselines.SSADetector(window=30, n_components=3),
+    lambda: baselines.MatrixProfile(pattern_size=12),
+    lambda: baselines.RSSADetector(window=30),
+]
+
+
+@pytest.mark.parametrize("factory", CLASSICAL, ids=lambda f: f().name)
+def test_detects_planted_spikes(factory, spiky_series):
+    values, labels = spiky_series
+    scores = factory().fit_score(values)
+    assert scores.shape == (len(values),)
+    assert np.isfinite(scores).all()
+    assert roc_auc(labels, scores) > 0.8
+
+
+@pytest.mark.parametrize("factory", CLASSICAL, ids=lambda f: f().name)
+def test_multivariate_support(factory, spiky_multivariate):
+    values, labels = spiky_multivariate
+    scores = factory().fit_score(values)
+    assert scores.shape == (len(values),)
+    assert roc_auc(labels, scores) > 0.6
+
+
+def test_score_before_fit_raises():
+    det = baselines.LOF()
+    with pytest.raises(RuntimeError):
+        det.score(np.zeros((20, 1)))
+    with pytest.raises(RuntimeError):
+        baselines.OneClassSVM().score(np.zeros((20, 1)))
+    with pytest.raises(RuntimeError):
+        baselines.IsolationForest().score(np.zeros((20, 1)))
+
+
+def test_lof_uniform_data_scores_near_one(rng):
+    grid = np.linspace(0, 1, 200)[:, None]
+    det = baselines.LOF(n_neighbors=5, context=1)
+    scores = det.fit_score(grid + 0.001 * rng.standard_normal((200, 1)))
+    assert np.median(scores) < 1.5
+
+
+def test_isolation_forest_more_trees_more_stable(spiky_series):
+    values, labels = spiky_series
+    aucs = []
+    for n_trees in (5, 60):
+        run = [
+            roc_auc(
+                labels,
+                baselines.IsolationForest(n_trees=n_trees, seed=s).fit_score(values),
+            )
+            for s in range(3)
+        ]
+        aucs.append(np.std(run))
+    assert aucs[1] <= aucs[0] + 0.02
+
+
+def test_ocsvm_poly_kernel(spiky_series):
+    values, labels = spiky_series
+    det = baselines.OneClassSVM(window=12, kernel="poly", degree=3, iterations=100)
+    assert roc_auc(labels, det.fit_score(values)) > 0.7
+
+
+def test_ocsvm_rejects_unknown_kernel():
+    with pytest.raises(ValueError):
+        baselines.OneClassSVM(kernel="sigmoid")
+
+
+def test_matrix_profile_discord_location():
+    t = np.arange(400)
+    series = np.sin(2 * np.pi * t / 40)
+    series[200:210] += 2.5  # one discord
+    det = baselines.MatrixProfile(pattern_size=20)
+    scores = det.fit_score(series)
+    assert 190 <= int(np.argmax(scores)) <= 220
+
+
+def test_mass_distance_profile_self_match_zero():
+    from repro.baselines import mass_distance_profile
+
+    series = np.sin(np.arange(100) / 5.0)
+    dist = mass_distance_profile(series[10:30], series)
+    assert dist[10] < 1e-5
+
+
+def test_ema_detector_pattern_size_controls_smoothing(spiky_series):
+    values, __ = spiky_series
+    fast = baselines.EMADetector(pattern_size=2).fit_score(values)
+    slow = baselines.EMADetector(pattern_size=100).fit_score(values)
+    # Slower EMA follows the signal less -> larger residual mass overall.
+    assert slow.sum() > fast.sum()
+
+
+def test_rssa_detector_exposes_clean_series(spiky_series):
+    values, __ = spiky_series
+    det = baselines.RSSADetector(window=30).fit(values)
+    assert det.clean_series.shape == values.shape
+
+
+def test_base_detector_repr_shows_params():
+    text = repr(baselines.EMADetector(pattern_size=7))
+    assert "pattern_size=7" in text
+
+
+def test_as_series_validation():
+    from repro.baselines import as_series
+
+    with pytest.raises(ValueError):
+        as_series(np.zeros((2, 2, 2)))
+    with pytest.raises(ValueError):
+        as_series(np.zeros(1))
+    assert as_series(np.zeros(5)).shape == (5, 1)

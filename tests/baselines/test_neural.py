@@ -1,0 +1,108 @@
+"""Neural baselines: training works, spikes are detected, runtimes recorded."""
+
+import numpy as np
+import pytest
+
+from repro import baselines
+from repro.metrics import roc_auc
+
+NEURAL = [
+    lambda: baselines.CNNAE(epochs=8, kernels=8),
+    lambda: baselines.RNNAE(epochs=4, hidden=12),
+    lambda: baselines.RandNet(n_models=3, epochs=4, hidden=32),
+    lambda: baselines.BeatGAN(epochs=5, kernels=8),
+    lambda: baselines.Donut(epochs=8, hidden=32, latent=4),
+    lambda: baselines.OmniAnomaly(epochs=3, hidden=12, latent=4),
+    lambda: baselines.TransformerAE(epochs=4, d_model=16, num_heads=2),
+    lambda: baselines.RDA(outer_iterations=3, inner_epochs=3),
+]
+
+
+@pytest.mark.parametrize("factory", NEURAL, ids=lambda f: f().name)
+def test_detects_planted_spikes(factory, spiky_series):
+    values, labels = spiky_series
+    det = factory()
+    scores = det.fit_score(values)
+    assert scores.shape == (len(values),)
+    assert np.isfinite(scores).all()
+    assert roc_auc(labels, scores) > 0.8
+
+
+@pytest.mark.parametrize("factory", NEURAL, ids=lambda f: f().name)
+def test_seconds_per_epoch_recorded(factory, spiky_series):
+    values, __ = spiky_series
+    det = factory().fit(values)
+    assert det.seconds_per_epoch > 0
+
+
+def test_runtime_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        __ = baselines.CNNAE().seconds_per_epoch
+
+
+def test_score_before_fit_raises():
+    with pytest.raises(RuntimeError):
+        baselines.CNNAE().score(np.zeros((50, 1)))
+
+
+def test_training_reduces_loss(spiky_series):
+    values, __ = spiky_series
+    det = baselines.CNNAE(epochs=12, kernels=8)
+    det.fit(values)
+    losses = det.loss_history_
+    assert losses[-1] < losses[0]
+
+
+def test_seed_reproducibility(spiky_series):
+    values, __ = spiky_series
+    a = baselines.CNNAE(epochs=3, seed=5).fit_score(values)
+    b = baselines.CNNAE(epochs=3, seed=5).fit_score(values)
+    assert np.allclose(a, b)
+
+
+def test_different_seed_differs(spiky_series):
+    values, __ = spiky_series
+    a = baselines.CNNAE(epochs=3, seed=1).fit_score(values)
+    b = baselines.CNNAE(epochs=3, seed=2).fit_score(values)
+    assert not np.allclose(a, b)
+
+
+def test_multivariate_neural(spiky_multivariate):
+    values, labels = spiky_multivariate
+    det = baselines.CNNAE(epochs=8, kernels=8)
+    assert roc_auc(labels, det.fit_score(values)) > 0.7
+
+
+def test_rnnae_window_shorter_than_series():
+    values = np.sin(np.arange(40) / 3.0)[:, None]
+    det = baselines.RNNAE(window=64, epochs=2, hidden=8)
+    scores = det.fit_score(values)  # window is clipped to series length
+    assert scores.shape == (40,)
+
+
+def test_randnet_ensemble_size(spiky_series):
+    values, __ = spiky_series
+    det = baselines.RandNet(n_models=4, epochs=2).fit(values)
+    assert len(det.models_) == 4
+
+
+def test_randnet_masks_distinct():
+    det = baselines.RandNet(n_models=2, epochs=1)
+    det.fit(np.sin(np.arange(120) / 5.0)[:, None])
+    mask_a = det.models_[0].net[0]._mask
+    mask_b = det.models_[1].net[0]._mask
+    assert not np.array_equal(mask_a, mask_b)
+
+
+def test_donut_scores_are_nll_shaped(spiky_series):
+    values, labels = spiky_series
+    det = baselines.Donut(epochs=6, hidden=32, latent=4)
+    scores = det.fit_score(values)
+    # NLL scores may be negative but must still rank outliers first.
+    assert roc_auc(labels, scores) > 0.8
+
+
+def test_tae_head_rounding():
+    det = baselines.TransformerAE(d_model=32, num_heads=5)
+    assert 32 % det.num_heads == 0
+    assert det.num_heads <= 5

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def spiky_series():
+    """Periodic univariate series with three planted point outliers."""
+    t = np.arange(240)
+    values = np.sin(2 * np.pi * t / 24).astype(float)
+    labels = np.zeros(240, dtype=int)
+    for pos, magnitude in ((40, 5.0), (120, -6.0), (200, 4.5)):
+        values[pos] += magnitude
+        labels[pos] = 1
+    return values[:, None], labels
+
+
+@pytest.fixture
+def spiky_multivariate():
+    """3-dimensional periodic series with planted point + collective outliers."""
+    rng = np.random.default_rng(7)
+    t = np.arange(300)
+    base = np.stack(
+        [
+            np.sin(2 * np.pi * t / 30),
+            np.cos(2 * np.pi * t / 30),
+            np.sin(2 * np.pi * t / 60),
+        ],
+        axis=1,
+    )
+    values = base + 0.05 * rng.standard_normal(base.shape)
+    labels = np.zeros(300, dtype=int)
+    values[60] += np.array([4.0, -4.0, 5.0])
+    labels[60] = 1
+    values[180:190] += 3.0
+    labels[180:190] = 1
+    return values, labels

@@ -1,0 +1,118 @@
+"""Core autoencoder building blocks: shapes, training helper, conversions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.autoencoders import (
+    ConvMatrixAE,
+    ConvSeriesAE,
+    ConvTransform1d,
+    ConvTransform2d,
+    FCMatrixAE,
+    FCSeriesAE,
+    matrix_to_tensor,
+    series_to_tensor,
+    tensor_to_matrix,
+    tensor_to_series,
+    train_reconstruction,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def test_series_tensor_roundtrip():
+    series = RNG.standard_normal((50, 3))
+    tensor = series_to_tensor(series)
+    assert tensor.shape == (1, 3, 50)
+    assert np.array_equal(tensor_to_series(tensor), series)
+
+
+def test_series_tensor_accepts_1d():
+    series = RNG.standard_normal(20)
+    assert series_to_tensor(series).shape == (1, 1, 20)
+
+
+def test_matrix_tensor_roundtrip():
+    matrix = RNG.standard_normal((8, 12, 2))
+    tensor = matrix_to_tensor(matrix)
+    assert tensor.shape == (1, 2, 8, 12)
+    assert np.array_equal(tensor_to_matrix(tensor), matrix)
+
+
+@pytest.mark.parametrize("length", [20, 33, 64])
+def test_conv_series_ae_preserves_shape(length):
+    model = ConvSeriesAE(2, kernels=8, num_layers=2)
+    x = nn.Tensor(RNG.standard_normal((1, 2, length)))
+    assert model(x).shape == (1, 2, length)
+
+
+@pytest.mark.parametrize("shape", [(6, 9), (12, 17), (7, 7)])
+def test_conv_matrix_ae_preserves_shape(shape):
+    model = ConvMatrixAE(1, kernels=4, num_layers=2)
+    x = nn.Tensor(RNG.standard_normal((1, 1) + shape))
+    assert model(x).shape == (1, 1) + shape
+
+
+def test_fc_series_ae_handles_nonmultiple_length():
+    model = FCSeriesAE(2, chunk=16, hidden=32)
+    x = nn.Tensor(RNG.standard_normal((1, 2, 37)))
+    assert model(x).shape == (1, 2, 37)
+
+
+def test_fc_series_ae_short_series():
+    model = FCSeriesAE(1, chunk=64, hidden=32)
+    x = nn.Tensor(RNG.standard_normal((1, 1, 10)))
+    assert model(x).shape == (1, 1, 10)
+
+
+def test_fc_matrix_ae_shape():
+    model = FCMatrixAE(2, window=6, hidden=32)
+    x = nn.Tensor(RNG.standard_normal((1, 2, 6, 11)))
+    assert model(x).shape == (1, 2, 6, 11)
+
+
+def test_transforms_preserve_shape():
+    t1 = ConvTransform1d(3, kernels=4)
+    assert t1(nn.Tensor(RNG.standard_normal((1, 3, 25)))).shape == (1, 3, 25)
+    t2 = ConvTransform2d(2, kernels=4)
+    assert t2(nn.Tensor(RNG.standard_normal((1, 2, 9, 14)))).shape == (1, 2, 9, 14)
+
+
+def test_kernel_ladder_narrows():
+    from repro.core.autoencoders import _kernel_ladder
+
+    ladder = _kernel_ladder(32, 4)
+    assert ladder == [32, 16, 8, 4]
+    assert _kernel_ladder(4, 6)[-1] >= 2  # floors at 2
+
+
+def test_train_reconstruction_decreases_loss():
+    model = ConvSeriesAE(1, kernels=8, num_layers=2)
+    optimizer = nn.Adam(model.parameters(), lr=1e-2)
+    target = np.sin(np.arange(60) / 5.0)[None, None, :]
+    first = train_reconstruction(model, optimizer, target, epochs=1)
+    loss_first = float(np.mean((first - target) ** 2))
+    last = train_reconstruction(model, optimizer, target, epochs=30)
+    loss_last = float(np.mean((last - target) ** 2))
+    assert loss_last < loss_first
+
+
+def test_train_reconstruction_with_separate_target():
+    model = ConvSeriesAE(1, kernels=4, num_layers=1)
+    optimizer = nn.Adam(model.parameters(), lr=1e-2)
+    inputs = RNG.standard_normal((1, 1, 30))
+    target = np.zeros((1, 1, 30))
+    out = train_reconstruction(model, optimizer, inputs, epochs=20, target=target)
+    assert np.abs(out).mean() < np.abs(inputs).mean()
+
+
+def test_train_reconstruction_returns_post_update_output():
+    """The returned reconstruction reflects the final parameters."""
+    model = ConvSeriesAE(1, kernels=4, num_layers=1)
+    optimizer = nn.Adam(model.parameters(), lr=1e-2)
+    inputs = RNG.standard_normal((1, 1, 24))
+    out = train_reconstruction(model, optimizer, inputs, epochs=2)
+    with nn.no_grad():
+        fresh = model(nn.Tensor(inputs)).data
+    assert np.allclose(out, fresh)

@@ -1,0 +1,48 @@
+"""Stopping conditions and the convergence trace (Algorithm 1/2 plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceTrace, stopping_conditions
+
+
+def test_condition1_zero_when_constraint_holds():
+    original = np.ones((10, 1))
+    clean = 0.6 * original
+    outlier = 0.4 * original
+    c1, c2, current = stopping_conditions(original, clean, outlier, original * 2)
+    assert c1 == pytest.approx(0.0)
+    assert np.allclose(current, original)
+
+
+def test_condition2_zero_when_split_static():
+    original = np.ones((10, 1))
+    clean = 0.7 * original
+    outlier = 0.2 * original
+    previous = clean + outlier
+    __, c2, __ = stopping_conditions(original, clean, outlier, previous)
+    assert c2 == pytest.approx(0.0)
+
+
+def test_conditions_relative_to_input_norm():
+    original = np.full((10, 1), 100.0)
+    clean = original - 1.0
+    outlier = np.zeros_like(original)
+    c1, __, __ = stopping_conditions(original, clean, outlier, original)
+    # ||residual|| / ||T||: residual 1 per element over magnitude-100 input.
+    assert c1 == pytest.approx(0.01)
+
+
+def test_trace_recording():
+    trace = ConvergenceTrace()
+    trace.record(0.5, 0.1, 0.2)
+    trace.record(0.4, 0.05, 0.1)
+    assert trace.iterations == 2
+    assert trace.rmse == [0.5, 0.4]
+    assert trace.final_rmse == 0.4
+    assert not trace.converged
+
+
+def test_trace_final_rmse_requires_records():
+    with pytest.raises(RuntimeError):
+        __ = ConvergenceTrace().final_rmse

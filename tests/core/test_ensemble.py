@@ -1,0 +1,78 @@
+"""RobustEnsemble (the Section VII ensemble-learning extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RobustEnsemble
+from repro.metrics import roc_auc
+
+
+def test_detects_spikes(spiky_series):
+    values, labels = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=3, max_iterations=8)
+    assert roc_auc(labels, ens.fit_score(values)) > 0.9
+
+
+def test_member_count_and_diversity(spiky_series):
+    values, __ = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=4, max_iterations=3).fit(values)
+    assert len(ens.members_) == 4
+    seeds = {m.seed for m in ens.members_}
+    assert len(seeds) == 4  # all members differ
+
+
+def test_jitter_varies_architecture(spiky_series):
+    values, __ = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=6, max_iterations=2,
+                         jitter=True, seed=1).fit(values)
+    architectures = {(m.kernels, m.kernel_size) for m in ens.members_}
+    assert len(architectures) > 1
+
+
+def test_no_jitter_uses_fixed_architecture(spiky_series):
+    values, __ = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=3, max_iterations=2,
+                         jitter=False, kernels=8).fit(values)
+    assert all(m.kernels == 8 for m in ens.members_)
+
+
+def test_mean_combiner(spiky_series):
+    values, labels = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=3, combine="mean",
+                         max_iterations=6)
+    assert roc_auc(labels, ens.fit_score(values)) > 0.9
+
+
+def test_rdae_base(spiky_series):
+    values, labels = spiky_series
+    ens = RobustEnsemble(
+        base="rdae", n_members=2, window=30, max_outer=1,
+        inner_iterations=3, series_iterations=3,
+    )
+    assert roc_auc(labels, ens.fit_score(values)) > 0.8
+    assert ens.name == "RDAE-Ens"
+
+
+def test_clean_series_is_member_mean(spiky_series):
+    values, __ = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=2, max_iterations=3).fit(values)
+    manual = np.mean([m.clean_series for m in ens.members_], axis=0)
+    assert np.allclose(ens.clean_series, manual)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RobustEnsemble(base="vae")
+    with pytest.raises(ValueError):
+        RobustEnsemble(combine="max")
+    with pytest.raises(RuntimeError):
+        RobustEnsemble().score(np.zeros((10, 1)))
+
+
+def test_ensemble_no_worse_than_worst_member(spiky_series):
+    values, labels = spiky_series
+    ens = RobustEnsemble(base="rae", n_members=3, max_iterations=8,
+                         seed=2).fit(values)
+    member_aucs = [roc_auc(labels, m.score(values)) for m in ens.members_]
+    ens_auc = roc_auc(labels, ens.score(values))
+    assert ens_auc >= min(member_aucs) - 0.05

@@ -1,0 +1,62 @@
+"""Save/load round-trips for fitted detectors."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAE, RDAE
+from repro.core.persistence import load_detector, save_detector
+
+
+def test_rae_roundtrip(tmp_path, spiky_series):
+    values, __ = spiky_series
+    det = RAE(max_iterations=8, seed=1).fit(values)
+    path = tmp_path / "rae.npz"
+    save_detector(det, path)
+    loaded = load_detector(path)
+    assert np.allclose(loaded.score(values), det.score(values))
+    assert np.allclose(loaded.clean_series, det.clean_series)
+
+
+def test_rae_streaming_after_load(tmp_path, spiky_series):
+    values, __ = spiky_series
+    det = RAE(max_iterations=8).fit(values)
+    path = tmp_path / "rae.npz"
+    save_detector(det, path)
+    loaded = load_detector(path)
+    unseen = values[::-1].copy()
+    assert np.allclose(loaded.score_new(unseen), det.score_new(unseen))
+
+
+def test_rdae_roundtrip(tmp_path, spiky_series):
+    values, __ = spiky_series
+    det = RDAE(window=30, max_outer=1, inner_iterations=3,
+               series_iterations=3).fit(values)
+    path = tmp_path / "rdae.npz"
+    save_detector(det, path)
+    loaded = load_detector(path)
+    assert np.allclose(loaded.score(values), det.score(values))
+    unseen = values[::-1].copy()
+    assert np.allclose(loaded.score_new(unseen), det.score_new(unseen))
+
+
+def test_rdae_ablation_flags_survive(tmp_path, spiky_series):
+    values, __ = spiky_series
+    det = RDAE(window=30, max_outer=1, inner_iterations=3,
+               series_iterations=3, use_f1=False).fit(values)
+    path = tmp_path / "rdae.npz"
+    save_detector(det, path)
+    loaded = load_detector(path)
+    assert loaded.use_f1 is False
+    assert loaded._f1 is None
+
+
+def test_save_requires_fit(tmp_path):
+    with pytest.raises(RuntimeError):
+        save_detector(RAE(), tmp_path / "x.npz")
+
+
+def test_save_rejects_other_types(tmp_path):
+    from repro.baselines import EMADetector
+
+    with pytest.raises(TypeError):
+        save_detector(EMADetector(), tmp_path / "x.npz")

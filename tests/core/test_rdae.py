@@ -1,0 +1,111 @@
+"""RDAE (Algorithm 2): dual-view decomposition and ablation switches."""
+
+import numpy as np
+import pytest
+
+from repro.core import RDAE
+from repro.metrics import roc_auc
+
+FAST = dict(window=30, max_outer=2, inner_iterations=4, series_iterations=4)
+
+
+def test_detects_planted_spikes(spiky_series):
+    values, labels = spiky_series
+    det = RDAE(**FAST)
+    scores = det.fit_score(values)
+    assert roc_auc(labels, scores) > 0.9
+
+
+def test_decomposition_shapes(spiky_series):
+    values, __ = spiky_series
+    det = RDAE(**FAST).fit(values)
+    assert det.clean_series.shape == values.shape
+    assert det.outlier_series.shape == values.shape
+
+
+def test_outlier_series_sparse(spiky_series):
+    values, __ = spiky_series
+    det = RDAE(lam1=0.3, lam2=0.3, **FAST).fit(values)
+    assert np.mean(det.outlier_series != 0) < 0.3
+
+
+def test_window_clipped_to_half_length():
+    short = np.sin(np.arange(40) / 3.0)[:, None]
+    det = RDAE(window=500, max_outer=1, inner_iterations=2, series_iterations=2)
+    det.fit(short)  # must not raise
+    assert det.clean_series.shape == short.shape
+
+
+@pytest.mark.parametrize(
+    "flags",
+    [
+        {"use_f1": False},
+        {"use_f2": False},
+        {"use_f1": False, "use_f2": False},
+        {"use_f1": False, "input_smoother": "ma"},
+    ],
+    ids=["no-f1", "no-f2", "no-f1f2", "ma"],
+)
+def test_ablation_switches_work(flags, spiky_series):
+    values, labels = spiky_series
+    det = RDAE(**FAST, **flags)
+    assert roc_auc(labels, det.fit_score(values)) > 0.8
+
+
+def test_fc_architecture(spiky_series):
+    values, labels = spiky_series
+    det = RDAE(arch="fc", **FAST)
+    assert roc_auc(labels, det.fit_score(values)) > 0.8
+
+
+def test_invalid_smoother_rejected():
+    with pytest.raises(ValueError):
+        RDAE(input_smoother="median")
+
+
+def test_invalid_arch_rejected():
+    with pytest.raises(ValueError):
+        RDAE(arch="gru")
+
+
+def test_convergence_trace(spiky_series):
+    values, __ = spiky_series
+    det = RDAE(**FAST).fit(values)
+    assert det.trace_.iterations >= 1
+    assert all(np.isfinite(det.trace_.rmse))
+
+
+def test_seconds_per_epoch(spiky_series):
+    values, __ = spiky_series
+    det = RDAE(**FAST).fit(values)
+    assert det.seconds_per_epoch > 0
+
+
+def test_seed_reproducibility(spiky_series):
+    values, __ = spiky_series
+    a = RDAE(seed=9, **FAST).fit_score(values)
+    b = RDAE(seed=9, **FAST).fit_score(values)
+    assert np.allclose(a, b)
+
+
+def test_multivariate(spiky_multivariate):
+    values, labels = spiky_multivariate
+    det = RDAE(**FAST)
+    assert roc_auc(labels, det.fit_score(values)) > 0.75
+
+
+def test_l0_prox(spiky_series):
+    values, labels = spiky_series
+    det = RDAE(prox="l0", lam1=0.5, lam2=0.5, **FAST)
+    assert roc_auc(labels, det.fit_score(values)) > 0.85
+
+
+def test_endpoint_dehankel_variant(spiky_series):
+    values, labels = spiky_series
+    det = RDAE(dehankel="endpoint", **FAST)
+    assert roc_auc(labels, det.fit_score(values)) > 0.8
+
+
+def test_invalid_dehankel_rejected():
+    with pytest.raises(ValueError):
+        RDAE(dehankel="median")

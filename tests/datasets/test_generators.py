@@ -1,0 +1,89 @@
+"""Surrogate dataset generators: published statistics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import available_datasets, load_dataset
+
+# Published statistics from Section V-A: (n_series, dims set, phi).
+EXPECTED = {
+    "GD": (5, {20, 24}, 0.008),
+    "HSS": (4, {20}, 0.167),
+    "ECG": (7, {2}, 0.049),
+    "NAB": (12, {1}, 0.098),
+    "S5": (8, {1}, 0.009),
+    "2D": (21, {2}, 0.392),
+    "SYN": (10, {1}, 0.05),
+}
+
+
+def test_registry_lists_all_seven():
+    assert set(available_datasets()) == set(EXPECTED)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_dataset_structure(name):
+    n_series, dims, phi = EXPECTED[name]
+    ds = load_dataset(name, scale=0.05)
+    assert len(ds) == n_series
+    assert {ts.dims for ts in ds} == dims
+    assert abs(ds.outlier_ratio - phi) < max(0.03, phi * 0.5)
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_deterministic_given_seed(name):
+    a = load_dataset(name, seed=42, scale=0.04)
+    b = load_dataset(name, seed=42, scale=0.04)
+    assert np.array_equal(a[0].values, b[0].values)
+    assert np.array_equal(a[0].labels, b[0].labels)
+
+
+def test_different_seeds_differ():
+    a = load_dataset("S5", seed=1, scale=0.05)
+    b = load_dataset("S5", seed=2, scale=0.05)
+    assert not np.array_equal(a[0].values, b[0].values)
+
+
+def test_scale_controls_length():
+    small = load_dataset("ECG", scale=0.05)
+    large = load_dataset("ECG", scale=0.1)
+    assert large[0].length > small[0].length
+
+
+def test_labels_are_binary_and_finite():
+    for name in available_datasets():
+        ds = load_dataset(name, scale=0.04)
+        for ts in ds:
+            assert set(np.unique(ts.labels)) <= {0, 1}
+            assert np.isfinite(ts.values).all()
+
+
+def test_syn_outlier_ratio_configurable():
+    low = load_dataset("SYN", scale=0.1, outlier_ratio=0.01)
+    high = load_dataset("SYN", scale=0.1, outlier_ratio=0.25)
+    assert high.outlier_ratio > low.outlier_ratio * 5
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(KeyError):
+        load_dataset("NOPE")
+
+
+def test_summary_mentions_key_stats():
+    ds = load_dataset("S5", scale=0.05)
+    text = ds.summary()
+    assert "S5" in text and "series" in text and "%" in text
+
+
+def test_timeseries_validates_label_length():
+    from repro.datasets import TimeSeries
+
+    with pytest.raises(ValueError):
+        TimeSeries(np.zeros((10, 1)), np.zeros(5))
+
+
+def test_outlier_ratio_property():
+    from repro.datasets import TimeSeries
+
+    ts = TimeSeries(np.zeros((10, 1)), np.array([1, 1] + [0] * 8))
+    assert np.isclose(ts.outlier_ratio, 0.2)

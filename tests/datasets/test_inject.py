@@ -1,0 +1,84 @@
+"""Outlier injection: ratios, labels, archetypes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import inject_outliers
+from repro.datasets.inject import inject_collective_outliers, inject_point_outliers
+
+
+def clean(length=400, dims=2, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.stack([np.sin(2 * np.pi * t / 40)] * dims, axis=1)
+    return base + 0.05 * rng.standard_normal((length, dims))
+
+
+def test_ratio_approximately_met():
+    values = clean()
+    labels = inject_outliers(values, 0.10, np.random.default_rng(1))
+    assert abs(labels.mean() - 0.10) < 0.03
+
+
+def test_zero_ratio_is_noop():
+    values = clean()
+    before = values.copy()
+    labels = inject_outliers(values, 0.0, np.random.default_rng(2))
+    assert labels.sum() == 0
+    assert np.array_equal(values, before)
+
+
+def test_labelled_points_actually_modified():
+    values = clean()
+    before = values.copy()
+    labels = inject_outliers(values, 0.05, np.random.default_rng(3))
+    changed = np.any(values != before, axis=1)
+    # All changes happen at labelled positions (flatline segments may leave
+    # the anchor observation numerically equal, so test the inclusion).
+    assert np.all(labels[changed] == 1)
+    assert changed.sum() > 0
+
+
+def test_point_outliers_are_large_deviations():
+    values = clean()
+    before = values.copy()
+    labels = np.zeros(len(values), dtype=np.int64)
+    inject_point_outliers(values, labels, 10, np.random.default_rng(4))
+    deltas = np.abs(values - before).max(axis=1)
+    scale = before.std(axis=0).max()
+    assert np.all(deltas[labels == 1] > 2.0 * scale)
+
+
+def test_collective_outliers_are_contiguous():
+    values = clean()
+    labels = np.zeros(len(values), dtype=np.int64)
+    inject_collective_outliers(
+        values, labels, 30, np.random.default_rng(5), segment_length=(10, 15)
+    )
+    # Segments of >= 2 consecutive labels must exist.
+    runs = np.diff(np.flatnonzero(labels))
+    assert (runs == 1).any()
+
+
+def test_collective_share_controls_mix():
+    values_a = clean(seed=10)
+    labels_a = inject_outliers(
+        values_a, 0.1, np.random.default_rng(6), collective_share=0.0
+    )
+    values_b = clean(seed=10)
+    labels_b = inject_outliers(
+        values_b, 0.1, np.random.default_rng(6), collective_share=1.0
+    )
+    runs_a = (np.diff(np.flatnonzero(labels_a)) == 1).sum()
+    runs_b = (np.diff(np.flatnonzero(labels_b)) == 1).sum()
+    assert runs_b > runs_a
+
+
+@given(st.floats(0.01, 0.3), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_ratio_property(ratio, seed):
+    values = clean(seed=seed)
+    labels = inject_outliers(values, ratio, np.random.default_rng(seed))
+    assert 0 < labels.mean() <= ratio + 0.05
+    assert set(np.unique(labels)) <= {0, 1}

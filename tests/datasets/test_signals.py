@@ -1,0 +1,73 @@
+"""Clean-signal building blocks of the surrogate generators."""
+
+import numpy as np
+
+from repro.datasets import signals
+
+
+def test_sinusoid_mix_single_period():
+    out = signals.sinusoid_mix(100, [25], [2.0], phases=[0.0])
+    assert out.shape == (100,)
+    assert np.isclose(out[0], 0.0)
+    assert np.abs(out).max() <= 2.0 + 1e-9
+
+
+def test_sinusoid_mix_superposition():
+    a = signals.sinusoid_mix(200, [20], [1.0], phases=[0.0])
+    b = signals.sinusoid_mix(200, [50], [0.5], phases=[0.0])
+    both = signals.sinusoid_mix(200, [20, 50], [1.0, 0.5], phases=[0.0, 0.0])
+    assert np.allclose(both, a + b)
+
+
+def test_square_cycle_levels():
+    out = signals.square_cycle(200, 40, duty=0.5, smooth=1)
+    assert set(np.round(np.unique(out), 6)) <= {-1.0, 1.0}
+
+
+def test_square_cycle_duty_controls_high_fraction():
+    high_frac = (signals.square_cycle(1000, 50, duty=0.8, smooth=1) > 0).mean()
+    assert 0.7 < high_frac < 0.9
+
+
+def test_sawtooth_range_and_period():
+    out = signals.sawtooth(100, 20)
+    assert out.min() >= -1.0 and out.max() <= 1.0
+    assert np.allclose(out[:20], out[20:40])
+
+
+def test_ar_process_stationary_coeffs_bounded():
+    out = signals.ar_process(2000, [0.7], 1.0, np.random.default_rng(0))
+    # Stationary AR(1) variance = 1 / (1 - phi^2) ~ 1.96.
+    assert 0.5 < out.var() < 6.0
+
+
+def test_ar_process_reproducible():
+    a = signals.ar_process(100, [0.5], 1.0, np.random.default_rng(1))
+    b = signals.ar_process(100, [0.5], 1.0, np.random.default_rng(1))
+    assert np.array_equal(a, b)
+
+
+def test_random_walk_grows():
+    out = signals.random_walk(5000, 1.0, np.random.default_rng(2))
+    assert np.abs(out[-500:]).mean() > np.abs(out[:500]).mean() * 0.1
+    assert out.shape == (5000,)
+
+
+def test_ecg_beat_train_periodicity():
+    out = signals.ecg_beat_train(600, beat_period=60,
+                                 rng=np.random.default_rng(3), jitter=0.0)
+    # R peaks ~1.0 roughly every beat_period samples.
+    peaks = np.flatnonzero(out > 0.8)
+    assert peaks.size >= 8
+    gaps = np.diff([p for p in peaks if True])
+    # Consecutive samples within one R wave cluster; gaps between clusters
+    # should be near the beat period.
+    big_gaps = gaps[gaps > 10]
+    assert np.abs(np.median(big_gaps) - 60) < 10
+
+
+def test_trajectory_2d_smooth():
+    xy = signals.trajectory_2d(500, rng=np.random.default_rng(4))
+    assert xy.shape == (500, 2)
+    steps = np.linalg.norm(np.diff(xy, axis=0), axis=1)
+    assert steps.max() < 0.5  # band-limited: no jumps

@@ -1,0 +1,72 @@
+"""Suite runner and table rendering."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    render_sweep,
+    render_table,
+    run_suite,
+    significance_against_best_baseline,
+)
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return run_suite(
+        ["EMA", "SSA", "RAE"],
+        ["S5", "SYN"],
+        scale=0.08,
+        max_series=1,
+        overrides={"RAE": {"max_iterations": 8}},
+        dataset_kwargs={"S5": {"num_series": 1}, "SYN": {"num_series": 1}},
+    )
+
+
+def test_suite_grid_complete(small_suite):
+    assert set(small_suite.pr) == {"S5", "SYN"}
+    for dataset in small_suite.datasets:
+        assert set(small_suite.pr[dataset]) == {"EMA", "SSA", "RAE"}
+        for value in small_suite.pr[dataset].values():
+            assert 0.0 <= value <= 1.0
+
+
+def test_averages_row(small_suite):
+    avg = small_suite.averages("pr")
+    for method in small_suite.methods:
+        manual = np.mean([small_suite.pr[d][method] for d in small_suite.datasets])
+        assert np.isclose(avg[method], manual)
+
+
+def test_column_accessor(small_suite):
+    column = small_suite.column("EMA", "roc")
+    assert len(column) == 2
+
+
+def test_render_table_contains_all_cells(small_suite):
+    text = render_table(small_suite, "pr", title="Table II (PR)")
+    assert "Table II" in text
+    for method in small_suite.methods:
+        assert method in text
+    assert "Avg." in text
+    assert "*" in text  # best-in-row marker
+
+
+def test_render_sweep_format():
+    sweep = {"RAE": {0.01: 0.5, 0.1: 0.6}, "RDAE": {0.01: 0.55, 0.1: 0.65}}
+    text = render_sweep(sweep, value_label="lambda", title="Fig 6")
+    assert "lambda" in text and "RAE" in text and "0.65" in text
+
+
+def test_render_sweep_missing_cells():
+    sweep = {"A": {1: 0.5}, "B": {2: 0.7}}
+    text = render_sweep(sweep)
+    assert "-" in text
+
+
+def test_significance_structure(small_suite):
+    out = significance_against_best_baseline(small_suite, proposed=("RAE",))
+    assert set(out) == {"RAE"}
+    assert set(out["RAE"]) == {"EMA", "SSA"}
+    for p in out["RAE"].values():
+        assert 0.0 <= p <= 1.0 or np.isnan(p)

@@ -1,0 +1,83 @@
+"""The unsupervised median-of-random-search protocol."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.eval import (
+    SEARCH_SPACES,
+    evaluate_on_dataset,
+    make_detector,
+    random_search_median,
+    sample_configurations,
+)
+
+
+def test_sample_configurations_shapes():
+    rng = np.random.default_rng(0)
+    space = {"a": [1, 2, 3], "b": [10, 20]}
+    configs = sample_configurations(space, 5, rng)
+    assert len(configs) == 5
+    for config in configs:
+        assert config["a"] in space["a"] and config["b"] in space["b"]
+
+
+def test_sample_empty_space():
+    configs = sample_configurations({}, 7, np.random.default_rng(0))
+    assert configs == [{}]
+
+
+def test_evaluate_on_dataset_returns_means():
+    ds = load_dataset("SYN", scale=0.08, num_series=3)
+    pr, roc = evaluate_on_dataset(lambda: make_detector("EMA"), ds)
+    assert 0 <= pr <= 1 and 0 <= roc <= 1
+
+
+def test_evaluate_skips_single_class_series():
+    ds = load_dataset("SYN", scale=0.08, num_series=2)
+    ds[0].labels[:] = 0  # make one series unevaluable
+    pr, roc = evaluate_on_dataset(lambda: make_detector("EMA"), ds)
+    assert 0 <= pr <= 1
+
+
+def test_evaluate_raises_when_nothing_evaluable():
+    ds = load_dataset("SYN", scale=0.08, num_series=1)
+    ds[0].labels[:] = 0
+    with pytest.raises(ValueError):
+        evaluate_on_dataset(lambda: make_detector("EMA"), ds)
+
+
+def test_median_protocol_returns_middle_trial():
+    ds = load_dataset("SYN", scale=0.08, num_series=2)
+    median, trials = random_search_median("EMA", ds, n_draws=5, seed=0)
+    assert len(trials) == 5
+    prs = sorted(t.pr for t in trials)
+    assert median.pr == prs[2]
+
+
+def test_median_protocol_deterministic():
+    ds = load_dataset("SYN", scale=0.08, num_series=2)
+    a, __ = random_search_median("SSA", ds, n_draws=3, seed=1)
+    b, __ = random_search_median("SSA", ds, n_draws=3, seed=1)
+    assert a.pr == b.pr and a.config == b.config
+
+
+def test_fixed_overrides_applied():
+    ds = load_dataset("SYN", scale=0.08, num_series=1)
+    median, trials = random_search_median(
+        "RAE", ds, n_draws=2, seed=0, max_iterations=3
+    )
+    for trial in trials:
+        assert trial.config["max_iterations"] == 3
+
+
+def test_search_spaces_match_methods():
+    from repro.eval import METHODS
+
+    for name in SEARCH_SPACES:
+        assert name in METHODS
+
+
+def test_make_detector_unknown():
+    with pytest.raises(KeyError):
+        make_detector("SVM2000")

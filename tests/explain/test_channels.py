@@ -1,0 +1,52 @@
+"""Per-channel attribution of outlier scores."""
+
+import numpy as np
+import pytest
+
+from repro.explain import channel_contributions, dominant_channels
+
+
+def test_contributions_normalized_rows():
+    ts = np.array([[3.0, 4.0], [0.0, 2.0], [0.0, 0.0]])
+    out = channel_contributions(ts)
+    assert np.allclose(out[0], [9 / 25, 16 / 25])
+    assert np.allclose(out[1], [0.0, 1.0])
+    assert np.allclose(out[2], [0.0, 0.0])
+
+
+def test_contributions_raw_sum_to_score():
+    ts = np.array([[3.0, 4.0]])
+    raw = channel_contributions(ts, normalize=False)
+    assert np.isclose(raw.sum(), 25.0)
+
+
+def test_contributions_rejects_1d():
+    with pytest.raises(ValueError):
+        channel_contributions(np.zeros(5))
+
+
+def test_dominant_channels_basic():
+    ts = np.array([[1.0, 0.1], [0.1, 5.0], [0.0, 0.0]])
+    winners = dominant_channels(ts)
+    assert winners.tolist() == [0, 1, -1]
+
+
+def test_dominant_channels_with_mask():
+    ts = np.array([[1.0, 0.1], [0.1, 5.0], [2.0, 0.0]])
+    mask = np.array([True, False, True])
+    assert dominant_channels(ts, mask).tolist() == [0, 0]
+
+
+def test_dominant_channels_with_indices():
+    ts = np.array([[1.0, 0.1], [0.1, 5.0]])
+    assert dominant_channels(ts, np.array([1])).tolist() == [1]
+
+
+def test_end_to_end_with_rae(spiky_multivariate):
+    from repro.core import RAE
+
+    values, labels = spiky_multivariate
+    det = RAE(max_iterations=12).fit(values)
+    winners = dominant_channels(det.outlier_series, labels.astype(bool))
+    assert winners.shape == (labels.sum(),)
+    assert np.all(winners < values.shape[1])

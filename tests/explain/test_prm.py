@@ -1,0 +1,69 @@
+"""PRM explainability score (Eq. 18)."""
+
+import numpy as np
+
+from repro.explain import es_prm, polynomial_fit, prm_rmse_curve
+
+
+def test_polynomial_fit_exact_on_polynomials():
+    t = np.linspace(0, 1, 100)
+    series = 2.0 + 3.0 * t - 1.5 * t**2
+    fitted = polynomial_fit(series, 2)
+    assert np.allclose(fitted, series, atol=1e-8)
+
+
+def test_polynomial_fit_multivariate():
+    t = np.linspace(0, 1, 50)
+    series = np.stack([t, t**2], axis=1)
+    fitted = polynomial_fit(series, 3)
+    assert fitted.shape == (50, 2)
+    assert np.allclose(fitted, series, atol=1e-8)
+
+
+def test_rmse_curve_monotone_nonincreasing():
+    rng = np.random.default_rng(0)
+    series = np.cumsum(rng.standard_normal(200))
+    curve = prm_rmse_curve(series, degrees=(1, 3, 5, 7, 9))
+    values = [curve[n] for n in sorted(curve)]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_es_prm_line_is_one():
+    t = np.linspace(0, 1, 100)
+    assert es_prm(5.0 * t + 2.0, gamma=0.01) == 1
+
+
+def test_es_prm_cubic_needs_three():
+    t = np.linspace(0, 1, 200)
+    series = 10.0 * (t - 0.5) ** 3
+    score = es_prm(series, gamma=0.01, degrees=(1, 2, 3, 4))
+    assert score == 3
+
+
+def test_es_prm_none_when_unreachable():
+    rng = np.random.default_rng(1)
+    noise = rng.standard_normal(300)
+    assert es_prm(noise, gamma=1e-6) is None
+
+
+def test_smaller_gamma_larger_score():
+    t = np.linspace(0, 1, 300)
+    series = np.sin(2 * np.pi * 3 * t)
+    loose = es_prm(series, gamma=1.0)
+    tight = es_prm(series, gamma=0.05)
+    assert loose is not None
+    assert tight is None or tight >= loose
+
+
+def test_simple_series_scores_better_than_complex():
+    """The Fig. 5 intuition: a trend+period series needs a lower degree than
+    one with arbitrary variation."""
+    rng = np.random.default_rng(2)
+    t = np.linspace(0, 1, 400)
+    simple = 0.5 * t
+    complex_series = 0.5 * t + 0.4 * rng.standard_normal(400)
+    gamma = 0.2
+    simple_score = es_prm(simple, gamma)
+    complex_score = es_prm(complex_series, gamma)
+    assert simple_score == 1
+    assert complex_score is None or complex_score > simple_score

@@ -1,0 +1,50 @@
+"""SSA explainability score (Eq. 19)."""
+
+import numpy as np
+
+from repro.explain import es_ssa, ssa_rmse_curve
+
+
+def test_curve_monotone_nonincreasing():
+    rng = np.random.default_rng(0)
+    t = np.arange(300)
+    series = np.sin(2 * np.pi * t / 30) + 0.1 * rng.standard_normal(300)
+    curve = ssa_rmse_curve(series, components=(1, 3, 5, 7, 9))
+    values = [curve[n] for n in sorted(curve)]
+    assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+
+def test_pure_trend_needs_one_component():
+    t = np.arange(200, dtype=float)
+    series = 0.01 * t
+    assert es_ssa(series, gamma=0.05) == 1
+
+
+def test_trend_plus_period_needs_few_components():
+    t = np.arange(400, dtype=float)
+    series = 0.002 * t + np.sin(2 * np.pi * t / 50)
+    score = es_ssa(series, gamma=0.05, components=(1, 2, 3, 4, 5))
+    assert score is not None and score <= 4
+
+
+def test_noise_not_explainable_at_tight_gamma():
+    noise = np.random.default_rng(1).standard_normal(300)
+    assert es_ssa(noise, gamma=1e-4) is None
+
+
+def test_window_parameter_forwarded():
+    t = np.arange(200, dtype=float)
+    series = np.sin(2 * np.pi * t / 20)
+    assert es_ssa(series, gamma=0.1, window=40) is not None
+
+
+def test_periodic_simpler_than_noisy_periodic():
+    rng = np.random.default_rng(2)
+    t = np.arange(400, dtype=float)
+    clean = np.sin(2 * np.pi * t / 40)
+    noisy = clean + 0.5 * rng.standard_normal(400)
+    gamma = 0.1
+    clean_score = es_ssa(clean, gamma)
+    noisy_score = es_ssa(noisy, gamma)
+    assert clean_score is not None
+    assert noisy_score is None or noisy_score >= clean_score

@@ -1,0 +1,60 @@
+"""RMSE/MAE/relative-Frobenius and significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import mae, paired_t_test, relative_frobenius, rmse, welch_t_test
+
+
+def test_rmse_known_value():
+    assert np.isclose(rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])),
+                      np.sqrt(12.5))
+
+
+def test_rmse_zero_on_identical():
+    x = np.random.default_rng(0).standard_normal((4, 3))
+    assert rmse(x, x) == 0.0
+
+
+def test_rmse_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        rmse(np.zeros(3), np.zeros(4))
+
+
+def test_mae_known_value():
+    assert np.isclose(mae(np.array([1.0, -1.0]), np.zeros(2)), 1.0)
+
+
+def test_relative_frobenius_scale_free():
+    a = np.random.default_rng(1).standard_normal((5, 5))
+    b = a * 1.1
+    assert np.isclose(relative_frobenius(a, b), relative_frobenius(10 * a, 10 * b))
+
+
+def test_paired_t_test_detects_consistent_improvement():
+    rng = np.random.default_rng(2)
+    base = rng.random(20)
+    improved = base + 0.1 + 0.01 * rng.standard_normal(20)
+    __, p = paired_t_test(improved, base)
+    assert p < 0.005
+
+
+def test_paired_t_test_no_difference():
+    rng = np.random.default_rng(3)
+    a = rng.random(30)
+    b = a + 0.001 * rng.standard_normal(30)
+    __, p = paired_t_test(a, b)
+    assert p > 0.05
+
+
+def test_paired_t_test_validates_length():
+    with pytest.raises(ValueError):
+        paired_t_test(np.zeros(3), np.zeros(4))
+
+
+def test_welch_t_test_distinct_means():
+    rng = np.random.default_rng(4)
+    a = rng.normal(1.0, 0.1, 50)
+    b = rng.normal(0.0, 0.5, 50)
+    __, p = welch_t_test(a, b)
+    assert p < 1e-6

@@ -1,0 +1,129 @@
+"""Ranking metrics vs hand-computed values and rank-invariance properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    best_f1,
+    pr_auc,
+    precision_at_k,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+
+
+def test_perfect_ranking():
+    labels = np.array([0, 0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+    assert roc_auc(labels, scores) == 1.0
+    assert pr_auc(labels, scores) == 1.0
+
+
+def test_inverted_ranking():
+    labels = np.array([0, 0, 0, 1, 1])
+    scores = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+    assert roc_auc(labels, scores) == 0.0
+
+
+def test_roc_hand_computed():
+    # scores order: 0.9(+), 0.8(-), 0.7(+), 0.6(-)
+    labels = np.array([1, 0, 1, 0])
+    scores = np.array([0.9, 0.8, 0.7, 0.6])
+    # ROC points: (0,0) (0,.5) (.5,.5) (.5,1) (1,1); area = 0.75
+    assert np.isclose(roc_auc(labels, scores), 0.75)
+
+
+def test_pr_hand_computed():
+    labels = np.array([1, 0, 1, 0])
+    scores = np.array([0.9, 0.8, 0.7, 0.6])
+    # AP = 1 * 0.5 + (2/3) * 0.5 = 0.8333...
+    assert np.isclose(pr_auc(labels, scores), 5.0 / 6.0)
+
+
+def test_ties_handled_by_grouping():
+    labels = np.array([1, 0, 1, 0])
+    scores = np.array([0.5, 0.5, 0.5, 0.5])
+    assert np.isclose(roc_auc(labels, scores), 0.5)
+
+
+def test_random_scores_roc_near_half():
+    rng = np.random.default_rng(0)
+    labels = (rng.random(5000) < 0.1).astype(int)
+    scores = rng.random(5000)
+    assert abs(roc_auc(labels, scores) - 0.5) < 0.05
+
+
+def test_pr_baseline_is_prevalence():
+    rng = np.random.default_rng(1)
+    prevalence = 0.15
+    labels = (rng.random(5000) < prevalence).astype(int)
+    scores = rng.random(5000)
+    assert abs(pr_auc(labels, scores) - prevalence) < 0.05
+
+
+def test_single_class_raises():
+    with pytest.raises(ValueError):
+        roc_auc(np.zeros(10), np.arange(10))
+    with pytest.raises(ValueError):
+        pr_auc(np.zeros(10), np.arange(10))
+
+
+def test_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        roc_auc(np.zeros(5), np.zeros(4))
+
+
+def test_non_binary_labels_raise():
+    with pytest.raises(ValueError):
+        roc_auc(np.array([0, 1, 2]), np.zeros(3))
+
+
+def test_curves_endpoints():
+    labels = np.array([0, 1, 0, 1, 1])
+    scores = np.array([0.1, 0.9, 0.3, 0.8, 0.7])
+    fpr, tpr = roc_curve(labels, scores)
+    assert fpr[0] == 0 and tpr[0] == 0
+    assert fpr[-1] == 1 and tpr[-1] == 1
+    precision, recall = precision_recall_curve(labels, scores)
+    assert recall[-1] == 1.0
+
+
+def test_precision_at_k():
+    labels = np.array([1, 1, 0, 0, 0])
+    scores = np.array([0.9, 0.8, 0.7, 0.2, 0.1])
+    assert precision_at_k(labels, scores, 2) == 1.0
+    assert np.isclose(precision_at_k(labels, scores, 4), 0.5)
+
+
+def test_best_f1_perfect_detector():
+    labels = np.array([0, 0, 1, 1])
+    scores = np.array([0.0, 0.1, 0.9, 1.0])
+    assert np.isclose(best_f1(labels, scores), 1.0)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_roc_invariant_to_monotone_transform(seed):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(100) < 0.2).astype(int)
+    if labels.sum() in (0, 100):
+        labels[0], labels[1] = 0, 1
+    scores = rng.standard_normal(100)
+    base = roc_auc(labels, scores)
+    assert np.isclose(base, roc_auc(labels, 3 * scores + 7))
+    assert np.isclose(base, roc_auc(labels, np.exp(scores / 5)))
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_aucs_in_unit_interval(seed):
+    rng = np.random.default_rng(seed)
+    labels = (rng.random(60) < 0.3).astype(int)
+    if labels.sum() in (0, 60):
+        labels[0], labels[1] = 0, 1
+    scores = rng.standard_normal(60)
+    assert 0.0 <= roc_auc(labels, scores) <= 1.0
+    assert 0.0 <= pr_auc(labels, scores) <= 1.0

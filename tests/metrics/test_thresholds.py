@@ -1,0 +1,76 @@
+"""Threshold-selection utilities."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    apply_threshold,
+    mad_threshold,
+    pot_threshold,
+    quantile_threshold,
+)
+
+
+@pytest.fixture
+def contaminated_scores():
+    rng = np.random.default_rng(0)
+    scores = rng.exponential(1.0, 2000)
+    scores[:20] += 30.0  # clear outliers
+    return scores
+
+
+def test_quantile_threshold_flags_expected_fraction(contaminated_scores):
+    threshold = quantile_threshold(contaminated_scores, 0.99)
+    flagged = apply_threshold(contaminated_scores, threshold)
+    assert 0.005 < flagged.mean() < 0.02
+
+
+def test_quantile_validates_q():
+    with pytest.raises(ValueError):
+        quantile_threshold(np.ones(10), 1.5)
+
+
+def test_mad_threshold_robust_to_outliers(contaminated_scores):
+    clean = contaminated_scores[20:]
+    t_clean = mad_threshold(clean)
+    t_dirty = mad_threshold(contaminated_scores)
+    # Adding 1% extreme outliers barely moves a median/MAD threshold.
+    assert abs(t_dirty - t_clean) / t_clean < 0.2
+
+
+def test_mad_threshold_catches_planted(contaminated_scores):
+    threshold = mad_threshold(contaminated_scores, k=5.0)
+    flagged = apply_threshold(contaminated_scores, threshold)
+    assert flagged[:20].all()
+
+
+def test_pot_threshold_orders_with_risk(contaminated_scores):
+    strict = pot_threshold(contaminated_scores, risk=1e-4)
+    loose = pot_threshold(contaminated_scores, risk=1e-2)
+    assert strict >= loose
+
+
+def test_pot_threshold_separates_outliers(contaminated_scores):
+    threshold = pot_threshold(contaminated_scores, risk=1e-3)
+    flagged = apply_threshold(contaminated_scores, threshold)
+    # The planted outliers exceed any sensible tail threshold.
+    assert flagged[:20].mean() == 1.0
+    # And the threshold keeps the false-flag rate low (the trimmed fit is
+    # conservatively calibrated, so allow a small multiple of the risk).
+    assert flagged[20:].mean() < 0.03
+
+
+def test_pot_falls_back_on_degenerate_tail():
+    scores = np.ones(100)
+    threshold = pot_threshold(scores, risk=1e-3)
+    assert np.isfinite(threshold)
+
+
+def test_pot_validates_risk():
+    with pytest.raises(ValueError):
+        pot_threshold(np.ones(10), risk=2.0)
+
+
+def test_apply_threshold_binary():
+    out = apply_threshold(np.array([0.1, 0.9]), 0.5)
+    assert out.tolist() == [0, 1]

@@ -1,0 +1,62 @@
+"""Attention and transformer blocks: shapes, softmax rows, positions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+def test_multihead_attention_shape_preserved():
+    mha = nn.MultiHeadAttention(16, 4)
+    x = nn.Tensor(np.random.default_rng(0).standard_normal((2, 9, 16)))
+    out = mha(x)
+    assert out.shape == (2, 9, 16)
+
+
+def test_multihead_rejects_bad_head_count():
+    with pytest.raises(ValueError):
+        nn.MultiHeadAttention(16, 5)
+
+
+def test_softmax_rows_sum_to_one():
+    x = nn.Tensor(np.random.default_rng(1).standard_normal((3, 7)))
+    out = F.softmax(x, axis=-1)
+    assert np.allclose(out.data.sum(axis=-1), 1.0)
+    assert (out.data > 0).all()
+
+
+def test_positional_encoding_distinct_positions():
+    pe = nn.PositionalEncoding(8, max_len=64)
+    x = nn.Tensor(np.zeros((1, 10, 8)))
+    out = pe(x).data[0]
+    # All rows must differ: positions are distinguishable.
+    for i in range(9):
+        assert not np.allclose(out[i], out[i + 1])
+
+
+def test_positional_encoding_values_bounded():
+    pe = nn.PositionalEncoding(6, max_len=32)
+    out = pe(nn.Tensor(np.zeros((1, 32, 6)))).data
+    assert np.abs(out).max() <= 1.0 + 1e-9
+
+
+def test_encoder_layer_shape_and_gradients():
+    layer = nn.TransformerEncoderLayer(8, 2)
+    x = nn.Tensor(np.random.default_rng(2).standard_normal((2, 6, 8)),
+                  requires_grad=True)
+    out = layer(x)
+    assert out.shape == (2, 6, 8)
+    (out * out).sum().backward()
+    assert x.grad is not None
+    assert layer.attention.proj_q.weight.grad is not None
+
+
+def test_attention_permutation_behaviour():
+    """Self-attention without positions is permutation-equivariant."""
+    mha = nn.MultiHeadAttention(8, 2)
+    x = np.random.default_rng(3).standard_normal((1, 5, 8))
+    perm = np.array([3, 1, 4, 0, 2])
+    out = mha(nn.Tensor(x)).data
+    out_perm = mha(nn.Tensor(x[:, perm])).data
+    assert np.allclose(out[:, perm], out_perm, atol=1e-10)

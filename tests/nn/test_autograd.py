@@ -1,0 +1,161 @@
+"""Gradient correctness of every autograd primitive vs finite differences."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import concatenate, stack
+
+RNG = np.random.default_rng(42)
+
+
+def finite_difference_check(fn, x, eps=1e-6, tol=1e-5):
+    """Compare autograd gradient against a central finite difference along a
+    random direction."""
+    xt = nn.Tensor(x, requires_grad=True)
+    out = fn(xt)
+    (out * out).sum().backward()
+    analytic = xt.grad
+    direction = RNG.standard_normal(x.shape)
+
+    def scalar(a):
+        return float((fn(nn.Tensor(a)).data ** 2).sum())
+
+    numeric = (scalar(x + eps * direction) - scalar(x - eps * direction)) / (2 * eps)
+    dotted = float((analytic * direction).sum())
+    assert abs(numeric - dotted) <= tol * max(1.0, abs(numeric))
+
+
+@pytest.mark.parametrize(
+    "name,fn",
+    [
+        ("add", lambda t: t + 2.5),
+        ("radd", lambda t: 2.5 + t),
+        ("sub", lambda t: t - 1.5),
+        ("rsub", lambda t: 1.5 - t),
+        ("mul", lambda t: t * 3.0),
+        ("div", lambda t: t / 2.0),
+        ("rdiv", lambda t: 2.0 / (t + 5.0)),
+        ("neg", lambda t: -t),
+        ("pow", lambda t: (t + 5.0) ** 3),
+        ("relu", lambda t: t.relu()),
+        ("leaky", lambda t: t.leaky_relu(0.1)),
+        ("tanh", lambda t: t.tanh()),
+        ("sigmoid", lambda t: t.sigmoid()),
+        ("exp", lambda t: t.exp()),
+        ("log", lambda t: (t + 5.0).log()),
+        ("sqrt", lambda t: (t + 5.0).sqrt()),
+        ("abs", lambda t: (t + 0.3).abs()),
+        ("sum", lambda t: t.sum(axis=1, keepdims=True)),
+        ("mean", lambda t: t.mean(axis=0)),
+        ("reshape", lambda t: t.reshape(6, 4)),
+        ("transpose", lambda t: t.transpose(1, 0, 2)),
+        ("getitem", lambda t: t[:, 1:3, ::2]),
+        ("clip", lambda t: t.clip_value(-0.5, 0.5)),
+        ("softmax", lambda t: F.softmax(t, axis=-1)),
+    ],
+)
+def test_elementwise_and_shape_gradients(name, fn):
+    x = RNG.standard_normal((2, 3, 4))
+    finite_difference_check(fn, x)
+
+
+def test_matmul_gradients():
+    a = RNG.standard_normal((3, 4))
+    b = RNG.standard_normal((4, 5))
+    finite_difference_check(lambda t: t @ nn.Tensor(b), a)
+    finite_difference_check(lambda t: nn.Tensor(a) @ t, b)
+
+
+def test_batched_matmul_gradients():
+    a = RNG.standard_normal((2, 3, 4))
+    b = RNG.standard_normal((2, 4, 5))
+    finite_difference_check(lambda t: t @ nn.Tensor(b), a)
+    finite_difference_check(lambda t: nn.Tensor(a) @ t, b)
+
+
+def test_broadcast_add_gradients():
+    a = RNG.standard_normal((3, 4))
+    bias = RNG.standard_normal(4)
+    finite_difference_check(lambda t: nn.Tensor(a) + t, bias)
+    finite_difference_check(lambda t: t * nn.Tensor(bias), a)
+
+
+def test_conv1d_gradients():
+    x = RNG.standard_normal((2, 3, 12))
+    w = RNG.standard_normal((5, 3, 3))
+    b = RNG.standard_normal(5)
+    finite_difference_check(lambda t: F.conv1d(t, nn.Tensor(w), nn.Tensor(b), padding=1), x)
+    finite_difference_check(lambda t: F.conv1d(nn.Tensor(x), t, nn.Tensor(b), padding=1), w)
+    finite_difference_check(lambda t: F.conv1d(nn.Tensor(x), nn.Tensor(w), t, padding=1), b)
+
+
+def test_conv2d_gradients():
+    x = RNG.standard_normal((2, 2, 8, 9))
+    w = RNG.standard_normal((4, 2, 3, 3))
+    b = RNG.standard_normal(4)
+    finite_difference_check(lambda t: F.conv2d(t, nn.Tensor(w), nn.Tensor(b), padding=1), x)
+    finite_difference_check(lambda t: F.conv2d(nn.Tensor(x), t, nn.Tensor(b), padding=1), w)
+    finite_difference_check(lambda t: F.conv2d(nn.Tensor(x), nn.Tensor(w), t, padding=1), b)
+
+
+def test_pooling_and_upsample_gradients():
+    x1 = RNG.standard_normal((2, 3, 13))
+    x2 = RNG.standard_normal((2, 3, 9, 11))
+    finite_difference_check(lambda t: F.max_pool1d(t, 2), x1)
+    finite_difference_check(lambda t: F.max_pool2d(t, 2), x2)
+    finite_difference_check(lambda t: F.upsample1d(t, 2, size=27), x1)
+    finite_difference_check(lambda t: F.upsample2d(t, 2, size=(19, 23)), x2)
+    finite_difference_check(lambda t: F.pad1d(t, 2), x1)
+    finite_difference_check(lambda t: F.pad2d(t, 3), x2)
+
+
+def test_concat_and_stack_gradients():
+    a = RNG.standard_normal((2, 3))
+    finite_difference_check(lambda t: concatenate([t, t * 2.0], axis=1), a)
+    finite_difference_check(lambda t: stack([t, t + 1.0], axis=0), a)
+
+
+def test_gradient_accumulates_over_reuse():
+    x = nn.Tensor(np.array([2.0]), requires_grad=True)
+    y = x * x + x * 3.0
+    y.backward()
+    # d/dx (x^2 + 3x) = 2x + 3 = 7
+    assert np.allclose(x.grad, [7.0])
+
+
+def test_backward_requires_scalar_without_grad():
+    x = nn.Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(ValueError):
+        (x * 2.0).backward()
+
+
+def test_no_grad_blocks_graph():
+    x = nn.Tensor(np.ones(3), requires_grad=True)
+    with nn.no_grad():
+        y = x * 2.0
+    assert not y.requires_grad
+    assert nn.is_grad_enabled()
+
+
+def test_detach_cuts_graph():
+    x = nn.Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).detach() * 3.0
+    assert not y.requires_grad
+
+
+def test_deep_chain_does_not_recurse():
+    x = nn.Tensor(np.ones(2), requires_grad=True)
+    y = x
+    for __ in range(3000):
+        y = y + 1.0
+    y.sum().backward()
+    assert np.allclose(x.grad, [1.0, 1.0])
+
+
+def test_unbroadcast_sums_to_scalar_shape():
+    bias = nn.Tensor(np.array([1.0]), requires_grad=True)
+    big = nn.Tensor(np.ones((4, 5)))
+    (big + bias).sum().backward()
+    assert np.allclose(bias.grad, [20.0])

@@ -1,0 +1,127 @@
+"""Module/layer behaviour: shapes, registration, state dicts, modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def test_linear_shapes_and_params():
+    layer = nn.Linear(4, 7)
+    out = layer(nn.Tensor(np.ones((3, 4))))
+    assert out.shape == (3, 7)
+    assert layer.num_parameters() == 4 * 7 + 7
+
+
+def test_linear_no_bias():
+    layer = nn.Linear(4, 7, bias=False)
+    assert layer.num_parameters() == 28
+
+
+def test_conv1d_same_padding_preserves_length():
+    layer = nn.Conv1d(3, 6, 5)
+    out = layer(nn.Tensor(np.ones((2, 3, 20))))
+    assert out.shape == (2, 6, 20)
+
+
+def test_conv2d_same_padding_preserves_size():
+    layer = nn.Conv2d(2, 4, 3)
+    out = layer(nn.Tensor(np.ones((1, 2, 9, 13))))
+    assert out.shape == (1, 4, 9, 13)
+
+
+def test_conv_channel_mismatch_raises():
+    layer = nn.Conv1d(3, 6, 3)
+    with pytest.raises(ValueError):
+        layer(nn.Tensor(np.ones((1, 2, 10))))
+
+
+def test_pool_upsample_roundtrip_shape():
+    x = nn.Tensor(np.random.default_rng(0).standard_normal((1, 2, 17)))
+    pooled = nn.MaxPool1d(2)(x)
+    assert pooled.shape == (1, 2, 8)
+    restored = nn.Upsample1d(2, size=17)(pooled)
+    assert restored.shape == x.shape
+
+
+def test_sequential_iteration_and_indexing():
+    seq = nn.Sequential(nn.Linear(2, 3), nn.ReLU(), nn.Linear(3, 1))
+    assert len(seq) == 3
+    assert isinstance(seq[1], nn.ReLU)
+    assert len(list(iter(seq))) == 3
+
+
+def test_named_parameters_nested():
+    class Wrapper(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.blocks = [nn.Linear(2, 2), nn.Linear(2, 2)]
+            self.head = nn.Linear(2, 1)
+
+        def forward(self, x):
+            return self.head(self.blocks[1](self.blocks[0](x)))
+
+    names = dict(Wrapper().named_parameters())
+    assert "blocks.0.weight" in names
+    assert "blocks.1.bias" in names
+    assert "head.weight" in names
+
+
+def test_state_dict_roundtrip():
+    a = nn.Linear(3, 3)
+    b = nn.Linear(3, 3)
+    b.load_state_dict(a.state_dict())
+    x = np.ones((2, 3))
+    assert np.allclose(a(nn.Tensor(x)).data, b(nn.Tensor(x)).data)
+
+
+def test_load_state_dict_validates():
+    a = nn.Linear(3, 3)
+    with pytest.raises(KeyError):
+        a.load_state_dict({})
+    bad = {name: np.zeros((1, 1)) for name, __ in a.named_parameters()}
+    with pytest.raises(ValueError):
+        a.load_state_dict(bad)
+
+
+def test_dropout_train_vs_eval():
+    rng = np.random.default_rng(0)
+    layer = nn.Dropout(0.5, rng=rng)
+    x = nn.Tensor(np.ones((100, 10)))
+    out_train = layer(x)
+    assert (out_train.data == 0).any()
+    layer.eval()
+    out_eval = layer(x)
+    assert np.allclose(out_eval.data, 1.0)
+
+
+def test_train_mode_propagates():
+    seq = nn.Sequential(nn.Dropout(0.5), nn.Linear(2, 2))
+    seq.eval()
+    assert not seq[0].training
+    seq.train()
+    assert seq[0].training
+
+
+def test_layernorm_normalises_last_axis():
+    x = nn.Tensor(np.random.default_rng(1).standard_normal((4, 16)) * 7 + 3)
+    out = nn.LayerNorm(16)(x)
+    assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+    assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+
+def test_zero_grad_clears_module_grads():
+    layer = nn.Linear(2, 2)
+    out = layer(nn.Tensor(np.ones((1, 2))))
+    out.sum().backward()
+    assert layer.weight.grad is not None
+    layer.zero_grad()
+    assert layer.weight.grad is None
+
+
+def test_seeded_init_is_deterministic():
+    nn.seed(123)
+    a = nn.Linear(4, 4)
+    nn.seed(123)
+    b = nn.Linear(4, 4)
+    assert np.array_equal(a.weight.data, b.weight.data)

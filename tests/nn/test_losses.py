@@ -1,0 +1,62 @@
+"""Loss values against hand computations and reference formulas."""
+
+import numpy as np
+
+from repro import nn
+
+
+def test_mse_matches_numpy():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    b = np.array([[0.0, 2.0], [3.0, 6.0]])
+    loss = nn.mse_loss(nn.Tensor(a), b)
+    assert np.isclose(loss.item(), np.mean((a - b) ** 2))
+
+
+def test_l1_matches_numpy():
+    a = np.array([1.0, -2.0, 3.0])
+    b = np.array([0.0, 0.0, 0.0])
+    loss = nn.l1_loss(nn.Tensor(a), b)
+    assert np.isclose(loss.item(), 2.0)
+
+
+def test_bce_with_logits_matches_reference():
+    logits = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+    target = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+    loss = nn.bce_with_logits(nn.Tensor(logits), target)
+    probs = 1.0 / (1.0 + np.exp(-logits))
+    reference = -(target * np.log(probs) + (1 - target) * np.log(1 - probs)).mean()
+    assert np.isclose(loss.item(), reference)
+
+
+def test_bce_with_logits_extreme_values_stable():
+    logits = np.array([-80.0, 80.0])
+    target = np.array([0.0, 1.0])
+    loss = nn.bce_with_logits(nn.Tensor(logits), target)
+    assert np.isfinite(loss.item())
+    assert loss.item() < 1e-10
+
+
+def test_gaussian_nll_unit_variance_is_half_sq_error_plus_const():
+    mean = np.array([0.0, 1.0])
+    target = np.array([1.0, 1.0])
+    loss = nn.gaussian_nll(nn.Tensor(mean), nn.Tensor(np.zeros(2)), target)
+    expected = 0.5 * (np.array([1.0, 0.0]) + np.log(2 * np.pi)).mean()
+    assert np.isclose(loss.item(), expected)
+
+
+def test_kl_zero_for_standard_normal():
+    mean = nn.Tensor(np.zeros(5))
+    logvar = nn.Tensor(np.zeros(5))
+    assert np.isclose(nn.kl_diag_gaussian(mean, logvar).item(), 0.0)
+
+
+def test_kl_positive_otherwise():
+    mean = nn.Tensor(np.ones(5))
+    logvar = nn.Tensor(np.full(5, -1.0))
+    assert nn.kl_diag_gaussian(mean, logvar).item() > 0.0
+
+
+def test_losses_backprop_through_prediction():
+    pred = nn.Tensor(np.array([1.0, 2.0]), requires_grad=True)
+    nn.mse_loss(pred, np.zeros(2)).backward()
+    assert np.allclose(pred.grad, pred.data)  # d/dp mean(p^2) = 2p/2 = p

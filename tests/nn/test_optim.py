@@ -1,0 +1,72 @@
+"""Optimiser behaviour: convergence on quadratics, momentum, clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.layers import Parameter
+
+
+def quadratic_loss(param, target):
+    diff = param - nn.Tensor(target)
+    return (diff * diff).sum()
+
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (nn.SGD, {"lr": 0.1}),
+    (nn.SGD, {"lr": 0.05, "momentum": 0.9}),
+    (nn.Adam, {"lr": 0.2}),
+])
+def test_converges_on_quadratic(optimizer_cls, kwargs):
+    target = np.array([1.0, -2.0, 3.0])
+    param = Parameter(np.zeros(3))
+    optimizer = optimizer_cls([param], **kwargs)
+    for __ in range(200):
+        optimizer.zero_grad()
+        loss = quadratic_loss(param, target)
+        loss.backward()
+        optimizer.step()
+    assert np.allclose(param.data, target, atol=1e-2)
+
+
+def test_sgd_weight_decay_shrinks_weights():
+    param = Parameter(np.ones(4) * 10.0)
+    optimizer = nn.SGD([param], lr=0.1, weight_decay=1.0)
+    for __ in range(50):
+        optimizer.zero_grad()
+        param.grad = np.zeros(4)
+        optimizer.step()
+    assert np.all(np.abs(param.data) < 1.0)
+
+
+def test_adam_skips_missing_grads():
+    p1 = Parameter(np.zeros(2))
+    p2 = Parameter(np.ones(2))
+    optimizer = nn.Adam([p1, p2], lr=0.1)
+    p1.grad = np.ones(2)
+    optimizer.step()
+    assert not np.allclose(p1.data, 0.0)
+    assert np.allclose(p2.data, 1.0)
+
+
+def test_empty_parameter_list_raises():
+    with pytest.raises(ValueError):
+        nn.Adam([])
+
+
+def test_clip_grad_norm_scales_down():
+    params = [Parameter(np.zeros(3)) for __ in range(2)]
+    for p in params:
+        p.grad = np.ones(3) * 10.0
+    total = nn.clip_grad_norm(params, 1.0)
+    assert total > 1.0
+    new_norm = np.sqrt(sum(float((p.grad**2).sum()) for p in params))
+    assert new_norm <= 1.0 + 1e-9
+
+
+def test_clip_grad_norm_leaves_small_grads():
+    param = Parameter(np.zeros(3))
+    param.grad = np.full(3, 1e-3)
+    before = param.grad.copy()
+    nn.clip_grad_norm([param], 1.0)
+    assert np.array_equal(param.grad, before)

@@ -1,0 +1,65 @@
+"""LSTM behaviour: shapes, state threading, gradients, memory."""
+
+import numpy as np
+
+from repro import nn
+from repro.nn.recurrent import repeat_hidden
+
+
+def test_lstm_output_shapes():
+    lstm = nn.LSTM(3, 8)
+    x = nn.Tensor(np.random.default_rng(0).standard_normal((4, 11, 3)))
+    out, (h, c) = lstm(x)
+    assert out.shape == (4, 11, 8)
+    assert h.shape == (4, 8)
+    assert c.shape == (4, 8)
+
+
+def test_lstm_final_state_matches_last_output():
+    lstm = nn.LSTM(2, 5)
+    x = nn.Tensor(np.random.default_rng(1).standard_normal((3, 7, 2)))
+    out, (h, __) = lstm(x)
+    assert np.allclose(out.data[:, -1, :], h.data)
+
+
+def test_lstm_gradients_reach_input_and_params():
+    lstm = nn.LSTM(2, 4)
+    x = nn.Tensor(np.random.default_rng(2).standard_normal((2, 6, 2)),
+                  requires_grad=True)
+    out, __ = lstm(x)
+    (out * out).sum().backward()
+    assert x.grad is not None and np.abs(x.grad).sum() > 0
+    assert lstm.cell.weight_x.grad is not None
+
+
+def test_lstm_cell_state_threading():
+    cell = nn.LSTMCell(2, 3)
+    h = nn.Tensor(np.zeros((1, 3)))
+    c = nn.Tensor(np.zeros((1, 3)))
+    x = nn.Tensor(np.ones((1, 2)))
+    h1, c1 = cell(x, (h, c))
+    h2, c2 = cell(x, (h1, c1))
+    assert not np.allclose(h1.data, h2.data)
+
+
+def test_forget_gate_bias_initialised_to_one():
+    cell = nn.LSTMCell(2, 4)
+    assert np.allclose(cell.bias.data[4:8], 1.0)
+    assert np.allclose(cell.bias.data[:4], 0.0)
+
+
+def test_repeat_hidden_tiles_state():
+    h = nn.Tensor(np.arange(6, dtype=float).reshape(2, 3))
+    tiled = repeat_hidden(h, 4)
+    assert tiled.shape == (2, 4, 3)
+    assert np.allclose(tiled.data[:, 0, :], h.data)
+    assert np.allclose(tiled.data[:, 3, :], h.data)
+
+
+def test_lstm_deterministic_given_rng():
+    rng1 = np.random.default_rng(5)
+    rng2 = np.random.default_rng(5)
+    x = np.random.default_rng(0).standard_normal((1, 5, 2))
+    out1, __ = nn.LSTM(2, 3, rng=rng1)(nn.Tensor(x))
+    out2, __ = nn.LSTM(2, 3, rng=rng2)(nn.Tensor(x))
+    assert np.array_equal(out1.data, out2.data)

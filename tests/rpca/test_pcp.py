@@ -1,0 +1,72 @@
+"""Principal component pursuit: recovery guarantees and edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.rpca import robust_pca
+
+
+def make_low_rank_plus_sparse(m, n, rank, sparse_frac, magnitude, seed):
+    rng = np.random.default_rng(seed)
+    low = rng.standard_normal((m, rank)) @ rng.standard_normal((rank, n))
+    sparse = np.zeros((m, n))
+    mask = rng.random((m, n)) < sparse_frac
+    sparse[mask] = rng.uniform(-magnitude, magnitude, mask.sum())
+    return low, sparse
+
+
+def test_exact_recovery_easy_instance():
+    low, sparse = make_low_rank_plus_sparse(40, 60, 3, 0.05, 10.0, 0)
+    result = robust_pca(low + sparse)
+    assert result.converged
+    assert np.linalg.norm(result.low_rank - low) / np.linalg.norm(low) < 1e-4
+    assert np.linalg.norm(result.sparse - sparse) / np.linalg.norm(sparse) < 1e-3
+
+
+def test_recovered_rank_matches():
+    low, sparse = make_low_rank_plus_sparse(30, 30, 2, 0.03, 8.0, 1)
+    result = robust_pca(low + sparse)
+    assert result.rank == 2
+
+
+def test_constraint_satisfied_at_convergence():
+    low, sparse = make_low_rank_plus_sparse(25, 35, 2, 0.05, 5.0, 2)
+    m = low + sparse
+    result = robust_pca(m)
+    residual = np.linalg.norm(m - result.low_rank - result.sparse)
+    assert residual / np.linalg.norm(m) < 1e-5
+
+
+def test_zero_matrix_short_circuits():
+    result = robust_pca(np.zeros((5, 5)))
+    assert result.converged
+    assert result.iterations == 0
+    assert np.allclose(result.low_rank, 0) and np.allclose(result.sparse, 0)
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        robust_pca(np.zeros((2, 2, 2)))
+
+
+def test_residuals_monotone_tail():
+    low, sparse = make_low_rank_plus_sparse(30, 30, 3, 0.05, 6.0, 3)
+    result = robust_pca(low + sparse)
+    residuals = np.asarray(result.residuals)
+    # Not necessarily monotone step-by-step, but the tail must descend.
+    assert residuals[-1] <= residuals[max(len(residuals) // 2 - 1, 0)]
+
+
+def test_lam_controls_sparsity():
+    low, sparse = make_low_rank_plus_sparse(30, 30, 3, 0.08, 6.0, 4)
+    m = low + sparse
+    sparse_small_lam = robust_pca(m, lam=0.01, max_iter=100).sparse
+    sparse_big_lam = robust_pca(m, lam=0.5, max_iter=100).sparse
+    assert np.count_nonzero(sparse_big_lam) < np.count_nonzero(sparse_small_lam)
+
+
+def test_max_iter_respected():
+    low, sparse = make_low_rank_plus_sparse(20, 20, 2, 0.05, 5.0, 5)
+    result = robust_pca(low + sparse, max_iter=3, tol=1e-12)
+    assert result.iterations == 3
+    assert not result.converged

@@ -1,0 +1,99 @@
+"""Proximal operators: closed-form properties, hypothesis invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.rpca import (
+    group_soft_threshold,
+    hard_threshold,
+    singular_value_threshold,
+    soft_threshold,
+)
+
+finite_arrays = arrays(
+    np.float64,
+    array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=8),
+    elements=st.floats(-100, 100),
+)
+
+
+def test_soft_threshold_known_values():
+    x = np.array([-3.0, -1.0, 0.0, 0.5, 2.0])
+    out = soft_threshold(x, 1.0)
+    assert np.allclose(out, [-2.0, 0.0, 0.0, 0.0, 1.0])
+
+
+def test_hard_threshold_known_values():
+    x = np.array([-3.0, -1.0, 0.0, 0.5, 2.0])
+    out = hard_threshold(x, 1.0)
+    assert np.allclose(out, [-3.0, 0.0, 0.0, 0.0, 2.0])
+
+
+@given(finite_arrays, st.floats(0.0, 50.0))
+@settings(max_examples=50, deadline=None)
+def test_soft_threshold_shrinks_magnitude(x, threshold):
+    out = soft_threshold(x, threshold)
+    assert np.all(np.abs(out) <= np.abs(x) + 1e-12)
+    assert np.all(np.sign(out) * np.sign(x) >= 0)
+
+
+@given(finite_arrays, st.floats(0.0, 50.0))
+@settings(max_examples=50, deadline=None)
+def test_soft_threshold_kills_small_entries(x, threshold):
+    out = soft_threshold(x, threshold)
+    small = np.abs(x) <= threshold
+    assert np.allclose(out[small], 0.0)
+
+
+@given(finite_arrays, st.floats(0.0, 50.0))
+@settings(max_examples=50, deadline=None)
+def test_hard_threshold_keeps_survivors_exact(x, threshold):
+    out = hard_threshold(x, threshold)
+    survivors = np.abs(x) > threshold
+    assert np.array_equal(out[survivors], x[survivors])
+    assert np.allclose(out[~survivors], 0.0)
+
+
+def test_soft_threshold_is_l1_prox():
+    """prox minimises 0.5||y - x||^2 + t||y||_1 — check against grid search."""
+    x = np.array([1.7])
+    t = 0.6
+    candidates = np.linspace(-3, 3, 20001)
+    objective = 0.5 * (candidates - x) ** 2 + t * np.abs(candidates)
+    best = candidates[np.argmin(objective)]
+    assert np.isclose(soft_threshold(x, t)[0], best, atol=1e-3)
+
+
+def test_group_soft_threshold_kills_weak_rows():
+    x = np.array([[3.0, 4.0], [0.1, 0.1]])
+    out = group_soft_threshold(x, 1.0, axis=1)
+    # Row norms: 5 and ~0.14; the weak row dies, the strong shrinks by 1/5.
+    assert np.allclose(out[1], 0.0)
+    assert np.allclose(out[0], x[0] * (1 - 1.0 / 5.0))
+
+
+def test_svt_zero_rank_when_threshold_large():
+    rng = np.random.default_rng(0)
+    m = rng.standard_normal((6, 6))
+    out, rank = singular_value_threshold(m, 1e6)
+    assert rank == 0
+    assert np.allclose(out, 0.0)
+
+
+def test_svt_identity_when_threshold_zero():
+    rng = np.random.default_rng(1)
+    m = rng.standard_normal((5, 7))
+    out, rank = singular_value_threshold(m, 0.0)
+    assert rank == 5
+    assert np.allclose(out, m, atol=1e-10)
+
+
+def test_svt_reduces_nuclear_norm():
+    rng = np.random.default_rng(2)
+    m = rng.standard_normal((8, 8))
+    out, __ = singular_value_threshold(m, 0.5)
+    s_before = np.linalg.svd(m, compute_uv=False).sum()
+    s_after = np.linalg.svd(out, compute_uv=False).sum()
+    assert s_after < s_before

@@ -1,0 +1,107 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main, read_series_csv, write_scores_csv
+
+
+@pytest.fixture
+def csv_with_header(tmp_path):
+    rng = np.random.default_rng(0)
+    t = np.arange(160)
+    values = np.sin(2 * np.pi * t / 20) + 0.05 * rng.standard_normal(160)
+    labels = np.zeros(160, dtype=int)
+    values[50] += 5.0
+    labels[50] = 1
+    path = tmp_path / "series.csv"
+    with open(path, "w") as handle:
+        handle.write("value,label\n")
+        for v, label in zip(values, labels):
+            handle.write("%.6f,%d\n" % (v, label))
+    return path
+
+
+def test_read_csv_with_header(csv_with_header):
+    values, labels = read_series_csv(csv_with_header, labels_column="label")
+    assert values.shape == (160, 1)
+    assert labels.sum() == 1
+
+
+def test_read_csv_without_labels(csv_with_header):
+    values, labels = read_series_csv(csv_with_header)
+    assert values.shape == (160, 2)  # label column kept as a dimension
+    assert labels is None
+
+
+def test_read_csv_headerless(tmp_path):
+    path = tmp_path / "plain.csv"
+    with open(path, "w") as handle:
+        for i in range(20):
+            handle.write("%d,%d\n" % (i, i * 2))
+    values, labels = read_series_csv(path, labels_column="1")
+    assert values.shape == (20, 1)
+    assert labels is not None
+
+
+def test_read_csv_missing_column(csv_with_header):
+    with pytest.raises(KeyError):
+        read_series_csv(csv_with_header, labels_column="nope")
+
+
+def test_read_empty_csv(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError):
+        read_series_csv(path)
+
+
+def test_write_scores_roundtrip(tmp_path):
+    path = tmp_path / "scores.csv"
+    write_scores_csv(path, np.array([1.5, 2.5]))
+    content = path.read_text().splitlines()
+    assert content[0] == "score"
+    assert float(content[1]) == 1.5
+
+
+def test_list_methods(capsys):
+    assert main(["list-methods"]) == 0
+    out = capsys.readouterr().out
+    assert "RAE" in out and "RDAE" in out and "OCSVM" in out
+
+
+def test_detect_end_to_end(csv_with_header, tmp_path, capsys):
+    out_path = tmp_path / "scores.csv"
+    code = main([
+        "detect", "--method", "EMA",
+        "--input", str(csv_with_header),
+        "--output", str(out_path),
+        "--labels-column", "label",
+    ])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "ROC-AUC" in err
+    scores = out_path.read_text().splitlines()
+    assert len(scores) == 161  # header + 160 scores
+
+
+def test_detect_stdout(csv_with_header, capsys):
+    code = main([
+        "detect", "--method", "EMA", "--input", str(csv_with_header),
+        "--labels-column", "label",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) == 160
+
+
+def test_demo_runs(capsys):
+    code = main(["demo", "--method", "EMA", "--dataset", "SYN", "--scale", "0.06"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ROC-AUC" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

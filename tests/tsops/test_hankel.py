@@ -1,0 +1,113 @@
+"""Hankel embedding invariants, including hypothesis round-trip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsops import deembed_lagged, embed_lagged, hankel_weights, hankelize
+
+
+def test_embed_shape_and_content():
+    series = np.arange(6, dtype=float)
+    m = embed_lagged(series, 3)
+    assert m.shape == (3, 4, 1)
+    # M[i, j] = s_{i+j}
+    for i in range(3):
+        for j in range(4):
+            assert m[i, j, 0] == i + j
+
+
+def test_anti_diagonals_constant():
+    series = np.arange(10, dtype=float)[:, None]
+    m = embed_lagged(series, 4)
+    for t in range(10):
+        cells = [m[i, t - i, 0] for i in range(4) if 0 <= t - i < m.shape[1]]
+        assert len(set(cells)) == 1
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(length, dims, seed):
+    rng = np.random.default_rng(seed)
+    series = rng.standard_normal((length, dims))
+    window = int(rng.integers(1, length + 1))
+    restored = deembed_lagged(embed_lagged(series, window))
+    assert np.allclose(restored, series, atol=1e-10)
+
+
+def test_window_bounds_validated():
+    series = np.zeros((10, 1))
+    with pytest.raises(ValueError):
+        embed_lagged(series, 0)
+    with pytest.raises(ValueError):
+        embed_lagged(series, 11)
+
+
+def test_hankel_weights_sum_to_cells():
+    window, k = 5, 8
+    weights = hankel_weights(window, k)
+    assert weights.sum() == window * k
+    assert weights.max() == min(window, k)
+    assert weights[0] == 1 and weights[-1] == 1
+
+
+def test_hankelize_idempotent():
+    rng = np.random.default_rng(3)
+    arbitrary = rng.standard_normal((6, 9, 2))
+    once = hankelize(arbitrary)
+    twice = hankelize(once)
+    assert np.allclose(once, twice, atol=1e-12)
+
+
+def test_hankelize_identity_on_hankel():
+    series = np.random.default_rng(4).standard_normal((20, 1))
+    m = embed_lagged(series, 6)
+    assert np.allclose(hankelize(m), m, atol=1e-12)
+
+
+def test_hankelize_is_projection_toward_hankel():
+    """Averaging anti-diagonals must not increase distance to the true
+    Hankel matrix of any series (least-squares projection property)."""
+    rng = np.random.default_rng(5)
+    series = rng.standard_normal((15, 1))
+    m = embed_lagged(series, 5)
+    noisy = m + 0.1 * rng.standard_normal(m.shape)
+    projected = hankelize(noisy)
+    assert np.linalg.norm(projected - m) <= np.linalg.norm(noisy - m) + 1e-12
+
+
+def test_deembed_2d_input_accepted():
+    m = embed_lagged(np.arange(8, dtype=float), 3)[:, :, 0]
+    restored = deembed_lagged(m)
+    assert restored.shape == (8, 1)
+    assert np.allclose(restored[:, 0], np.arange(8))
+
+
+def test_endpoint_readout_exact_on_hankel():
+    series = np.random.default_rng(6).standard_normal((25, 2))
+    m = embed_lagged(series, 7)
+    assert np.allclose(deembed_lagged(m, method="endpoint"), series)
+
+
+def test_endpoint_vs_average_on_noisy_matrix():
+    """On non-Hankel input the average readout is the least-squares choice:
+    it must be at least as close to the underlying series as the endpoint
+    readout on average."""
+    rng = np.random.default_rng(7)
+    series = rng.standard_normal((30, 1))
+    m = embed_lagged(series, 8)
+    noisy = m + 0.3 * rng.standard_normal(m.shape)
+    err_avg = np.linalg.norm(deembed_lagged(noisy) - series)
+    err_end = np.linalg.norm(deembed_lagged(noisy, method="endpoint") - series)
+    assert err_avg <= err_end + 1e-9
+
+
+def test_deembed_unknown_method():
+    m = embed_lagged(np.arange(10, dtype=float), 3)
+    with pytest.raises(ValueError):
+        deembed_lagged(m, method="middle")

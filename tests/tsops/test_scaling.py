@@ -1,0 +1,50 @@
+"""Scaling transforms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsops import minmax_scale, robust_scale, standardize
+
+
+def test_standardize_moments():
+    rng = np.random.default_rng(0)
+    arr = rng.standard_normal((500, 3)) * 7 + 3
+    out = standardize(arr)
+    assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_standardize_constant_dimension_safe():
+    arr = np.ones((50, 2))
+    out = standardize(arr)
+    assert np.isfinite(out).all()
+
+
+def test_minmax_range():
+    rng = np.random.default_rng(1)
+    out = minmax_scale(rng.uniform(-5, 9, (100, 2)))
+    assert np.isclose(out.min(), 0.0)
+    assert np.isclose(out.max(), 1.0)
+
+
+def test_robust_scale_ignores_outliers():
+    rng = np.random.default_rng(2)
+    arr = rng.standard_normal((500, 1))
+    contaminated = arr.copy()
+    contaminated[:10] = 1000.0
+    out_clean = robust_scale(arr)[10:]
+    out_dirty = robust_scale(contaminated)[10:]
+    # Median/IQR scaling barely moves for the uncontaminated bulk.
+    assert np.abs(out_clean - out_dirty).max() < 0.2
+
+
+@given(st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_scaling_preserves_shape_and_finiteness(seed):
+    rng = np.random.default_rng(seed)
+    arr = rng.standard_normal((40, 2)) * rng.uniform(0.1, 100)
+    for transform in (standardize, minmax_scale, robust_scale):
+        out = transform(arr)
+        assert out.shape == arr.shape
+        assert np.isfinite(out).all()

@@ -1,0 +1,67 @@
+"""EMA, moving average and loess smoothers."""
+
+import numpy as np
+import pytest
+
+from repro.tsops import ema, loess, moving_average
+
+
+def test_ema_recursion_matches_definition():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    out = ema(x, alpha=0.5)
+    expected = [1.0, 1.5, 2.25, 3.125]
+    assert np.allclose(out, expected)
+
+
+def test_ema_alpha_one_is_identity():
+    x = np.random.default_rng(0).standard_normal(50)
+    assert np.allclose(ema(x, alpha=1.0), x)
+
+
+def test_ema_validates_alpha():
+    with pytest.raises(ValueError):
+        ema(np.ones(5), alpha=0.0)
+    with pytest.raises(ValueError):
+        ema(np.ones(5), alpha=1.5)
+
+
+def test_ema_multivariate_shape():
+    x = np.random.default_rng(1).standard_normal((30, 3))
+    assert ema(x, 0.3).shape == (30, 3)
+
+
+def test_moving_average_constant_signal_unchanged():
+    x = np.full(40, 3.0)
+    assert np.allclose(moving_average(x, 7), 3.0)
+
+
+def test_moving_average_reduces_noise_variance():
+    x = np.random.default_rng(2).standard_normal(500)
+    smoothed = moving_average(x, 11)
+    assert smoothed.var() < x.var() / 3
+
+
+def test_moving_average_window_one_is_identity():
+    x = np.random.default_rng(3).standard_normal(20)
+    assert np.allclose(moving_average(x, 1), x)
+
+
+def test_loess_fits_line_exactly():
+    t = np.arange(50, dtype=float)
+    y = 2.0 * t + 1.0
+    fitted = loess(y, window=15, degree=1)
+    assert np.allclose(fitted, y, atol=1e-6)
+
+
+def test_loess_smooths_noise():
+    rng = np.random.default_rng(4)
+    t = np.arange(200, dtype=float)
+    clean = np.sin(2 * np.pi * t / 100)
+    noisy = clean + 0.3 * rng.standard_normal(200)
+    fitted = loess(noisy, window=41)
+    assert np.mean((fitted - clean) ** 2) < np.mean((noisy - clean) ** 2)
+
+
+def test_loess_rejects_2d():
+    with pytest.raises(ValueError):
+        loess(np.zeros((5, 2)), window=3)

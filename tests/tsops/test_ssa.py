@@ -1,0 +1,67 @@
+"""Singular spectrum analysis: exactness, ordering, component semantics."""
+
+import numpy as np
+import pytest
+
+from repro.tsops import default_window, ssa_decompose, ssa_reconstruct
+
+
+def test_full_reconstruction_is_exact():
+    rng = np.random.default_rng(0)
+    series = rng.standard_normal((60, 1))
+    decomposition = ssa_decompose(series, window=10)
+    full = decomposition.reconstruct(decomposition.components.shape[0])
+    assert np.allclose(full, series, atol=1e-8)
+
+
+def test_components_ordered_by_energy():
+    t = np.arange(200)
+    series = 5 * np.sin(2 * np.pi * t / 50) + 0.5 * np.sin(2 * np.pi * t / 7)
+    decomposition = ssa_decompose(series, window=60)
+    energies = decomposition.singular_values.sum(axis=1)
+    assert np.all(np.diff(energies) <= 1e-9)
+
+
+def test_top_components_capture_dominant_period():
+    t = np.arange(300)
+    clean = np.sin(2 * np.pi * t / 30)
+    noisy = clean + 0.2 * np.random.default_rng(1).standard_normal(300)
+    smooth = ssa_reconstruct(noisy, window=60, top_n=2)[:, 0]
+    # Smoothing must reduce distance to the clean signal.
+    assert np.mean((smooth - clean) ** 2) < np.mean((noisy - clean) ** 2)
+
+
+def test_trend_in_first_component():
+    t = np.arange(200, dtype=float)
+    series = 0.05 * t + np.sin(2 * np.pi * t / 20)
+    decomposition = ssa_decompose(series, window=50)
+    trend = decomposition.reconstruct(1)[:, 0]
+    # First component must be increasing overall (captures the trend).
+    assert trend[-20:].mean() > trend[:20].mean()
+
+
+def test_reconstruct_zero_components():
+    decomposition = ssa_decompose(np.arange(30, dtype=float), window=5)
+    zero = decomposition.reconstruct(0)
+    assert np.allclose(zero, 0.0)
+
+
+def test_reconstruct_clamps_top_n():
+    decomposition = ssa_decompose(np.arange(30, dtype=float), window=5)
+    capped = decomposition.reconstruct(999)
+    assert capped.shape == (30, 1)
+
+
+def test_multivariate_decomposition_shapes():
+    rng = np.random.default_rng(2)
+    series = rng.standard_normal((80, 3))
+    decomposition = ssa_decompose(series, window=12, max_components=5)
+    assert decomposition.components.shape == (5, 80, 3)
+    assert decomposition.singular_values.shape == (5, 3)
+
+
+def test_default_window_heuristic():
+    assert 2 <= default_window(100) <= 50
+    assert default_window(1400) >= default_window(100)
+    with pytest.raises(ValueError):
+        default_window(100, psi=5.0)

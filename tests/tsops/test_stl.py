@@ -1,0 +1,73 @@
+"""STL decomposition: additivity, seasonality capture, residual spikes."""
+
+import numpy as np
+
+from repro.tsops import estimate_period, stl_decompose
+
+
+def seasonal_series(length=240, period=24, trend_slope=0.01, noise=0.05, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=float)
+    return (
+        np.sin(2 * np.pi * t / period)
+        + trend_slope * t
+        + noise * rng.standard_normal(length)
+    )
+
+
+def test_components_sum_to_series():
+    series = seasonal_series()
+    result = stl_decompose(series, period=24)
+    assert np.allclose(
+        result.trend + result.seasonal + result.residual, series, atol=1e-10
+    )
+
+
+def test_trend_captures_slope():
+    series = seasonal_series(trend_slope=0.05)
+    result = stl_decompose(series, period=24)
+    # Trend must rise by roughly slope * length over the series.
+    rise = result.trend[-1] - result.trend[0]
+    assert 0.5 * 0.05 * 240 < rise < 1.5 * 0.05 * 240
+
+
+def test_seasonal_component_is_periodic():
+    series = seasonal_series(noise=0.0)
+    result = stl_decompose(series, period=24)
+    seasonal = result.seasonal
+    lagged_diff = np.abs(seasonal[24:] - seasonal[:-24])
+    assert lagged_diff.mean() < 0.2
+
+
+def test_residual_spikes_at_outliers():
+    series = seasonal_series()
+    series[100] += 6.0
+    result = stl_decompose(series, period=24)
+    assert np.argmax(np.abs(result.residual)) == 100
+
+
+def test_estimate_period_finds_true_period():
+    series = seasonal_series(noise=0.02)
+    estimated = estimate_period(series)
+    assert abs(estimated - 24) <= 2
+
+
+def test_estimate_period_noise_fallback():
+    noise = np.random.default_rng(1).standard_normal(200)
+    estimated = estimate_period(noise, min_period=4)
+    assert estimated >= 4
+
+
+def test_multivariate_decomposition():
+    series = np.stack([seasonal_series(seed=0), seasonal_series(seed=1)], axis=1)
+    result = stl_decompose(series, period=24)
+    assert result.trend.shape == (240, 2)
+    assert np.allclose(
+        result.trend + result.seasonal + result.residual, series, atol=1e-10
+    )
+
+
+def test_period_estimated_when_omitted():
+    series = seasonal_series()
+    result = stl_decompose(series)
+    assert abs(result.period - 24) <= 2

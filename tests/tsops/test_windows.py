@@ -1,0 +1,77 @@
+"""Sliding windows and overlap averaging, with hypothesis coverage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tsops import overlap_average, sliding_windows, window_count
+
+
+def test_window_count_examples():
+    assert window_count(10, 4, 2) == 4
+    assert window_count(10, 10, 1) == 1
+    assert window_count(5, 6, 1) == 0
+
+
+def test_sliding_windows_cover_tail():
+    series = np.arange(10, dtype=float)
+    windows, starts = sliding_windows(series, 4, stride=3)
+    assert starts[-1] == 6  # final window ends at the last observation
+    assert np.allclose(windows[-1][:, 0], [6, 7, 8, 9])
+
+
+def test_sliding_windows_stride_one_contiguous():
+    series = np.arange(8, dtype=float)
+    windows, starts = sliding_windows(series, 3, stride=1)
+    assert len(starts) == 6
+    assert np.allclose(windows[2][:, 0], [2, 3, 4])
+
+
+def test_width_longer_than_series_raises():
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros(5), 6)
+
+
+@given(
+    st.integers(min_value=4, max_value=60),
+    st.integers(min_value=2, max_value=20),
+    st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_every_position_covered(length, width, stride):
+    width = min(width, length)
+    series = np.zeros(length)
+    windows, starts = sliding_windows(series, width, stride)
+    covered = np.zeros(length, dtype=bool)
+    for s in starts:
+        covered[s : s + width] = True
+    assert covered.all()
+
+
+def test_overlap_average_constant_scores():
+    """If every window reports the same value, all observations get it."""
+    length, width = 12, 4
+    __, starts = sliding_windows(np.zeros(length), width, stride=2)
+    values = np.full((len(starts), width), 7.0)
+    out = overlap_average(values, starts, width, length)
+    assert np.allclose(out, 7.0)
+
+
+def test_overlap_average_single_window():
+    out = overlap_average(np.array([[1.0, 2.0, 3.0]]), np.array([2]), 3, 6)
+    assert np.allclose(out[2:5], [1, 2, 3])
+    assert np.allclose(out[:2], 0.0)
+
+
+@given(st.integers(min_value=6, max_value=40), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_overlap_average_bounded_by_extremes(length, seed):
+    rng = np.random.default_rng(seed)
+    width = int(rng.integers(2, length))
+    stride = int(rng.integers(1, width + 1))
+    windows, starts = sliding_windows(np.zeros(length), width, stride)
+    values = rng.uniform(0, 1, size=(len(starts), width))
+    out = overlap_average(values, starts, width, length)
+    assert out.min() >= values.min() - 1e-12
+    assert out.max() <= values.max() + 1e-12
