@@ -12,6 +12,10 @@ from repro.eval import render_sweep
 
 from conftest import mean_scores
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 LAMBDAS = [1e-4, 1e-3, 1e-2, 1e-1, 1.0]
 
 

@@ -13,6 +13,10 @@ from repro.eval import render_sweep
 
 from conftest import mean_scores
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 WINDOWS = [10, 20, 50, 100]
 
 

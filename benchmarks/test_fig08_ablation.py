@@ -16,6 +16,10 @@ from repro.eval import make_detector
 
 from conftest import FAST_OVERRIDES, score_detector
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 VARIANTS = ["RDAE", "RDAE-f1", "RDAE-f2", "RDAE-f1f2", "RDAE+MA"]
 RDAE_FAST = FAST_OVERRIDES["RDAE"]
 

@@ -13,6 +13,10 @@ from repro.datasets import load_dataset
 
 from conftest import mean_scores
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 PAIRS = [("RAE", "N-RAE"), ("RDAE", "N-RDAE")]
 
 

@@ -11,6 +11,10 @@ from repro.eval import render_sweep
 
 from conftest import mean_scores
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 KERNELS = [4, 8, 16, 32]
 
 

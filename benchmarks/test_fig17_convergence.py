@@ -10,6 +10,10 @@ import pytest
 
 from repro.eval import make_detector
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 LAMBDAS = [1e-3, 1e-1, 1.0]
 WINDOWS = [10, 30, 60]
 

@@ -11,6 +11,10 @@ from repro.eval import significance_against_best_baseline
 
 from test_table2_pr import full_suite
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="significance")
 def test_ttest_vs_baselines(benchmark):

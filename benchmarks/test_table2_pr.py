@@ -11,6 +11,10 @@ from repro.eval import render_table, run_suite
 
 from conftest import FAST_DATASET_KWARGS, FAST_OVERRIDES, SCALE
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 ALL_METHODS = [
     "OCSVM", "LOF", "ISF", "EMA", "STL", "SSA", "MP", "RN", "CNNAE",
     "RNNAE", "BGAN", "DONUT", "OMNI", "TAE", "RDA", "RAE", "RDAE",

@@ -11,6 +11,10 @@ from repro.eval import render_table
 
 from test_table2_pr import full_suite
 
+# Heavy sweep: excluded from tier-1 (`-m "not slow"` is the default);
+# run with `pytest -m slow` or `pytest -m ""`.
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.benchmark(group="table3")
 def test_table3_overall_roc(benchmark):

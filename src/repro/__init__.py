@@ -11,9 +11,40 @@ Public API highlights
   suite runner and table renderers.
 * :mod:`repro.nn` / :mod:`repro.rpca` / :mod:`repro.tsops` — the substrates
   (NumPy autograd + layers, Robust PCA, Hankel/SSA/STL machinery).
+
+Streaming & batched scoring
+---------------------------
+The detectors are transductive one-shot scorers by construction, but the
+package also serves continuous traffic:
+
+* :class:`repro.stream.StreamScorer` wraps any fitted detector and scores
+  arriving points over a ring-buffered sliding window, so per-arrival work
+  is bounded by the window size instead of the stream length.  RAE/RDAE are
+  served through :class:`repro.core.ScoringSession`, which keeps the training
+  scaler, the autoencoder forward state, and an incrementally-updated Hankel
+  embedding (:class:`repro.tsops.SlidingLagged`) warm between arrivals.
+* :class:`repro.eval.BatchScoringEngine` amortises model setup across many
+  series: fit once (or warm-start from a ``.npz`` saved by
+  :func:`repro.core.save_detector`), then micro-batch same-length series
+  through a single autoencoder forward pass.
+* ``python -m repro stream`` exposes the same machinery on the command line
+  (train on the head of a CSV, emit one score line per streamed point), and
+  ``examples/streaming_monitoring.py`` shows a live-monitoring loop.
 """
 
-from . import baselines, core, datasets, eval, explain, metrics, nn, rpca, tsops, viz
+from . import (
+    baselines,
+    core,
+    datasets,
+    eval,
+    explain,
+    metrics,
+    nn,
+    rpca,
+    stream,
+    tsops,
+    viz,
+)
 from .core import NRAE, NRDAE, RAE, RDAE
 
 __version__ = "1.0.0"
@@ -25,6 +56,7 @@ __all__ = [
     "NRDAE",
     "nn",
     "rpca",
+    "stream",
     "tsops",
     "datasets",
     "baselines",

@@ -35,6 +35,12 @@ class BaseDetector:
 
     name = "base"
 
+    #: True for detectors whose ``score`` returns scores of the series they
+    #: were *fitted* on, ignoring the argument.  Streaming wrappers must
+    #: refit such detectors on the live window instead of calling ``score``
+    #: (see :class:`repro.stream.StreamScorer`).
+    transductive_only = False
+
     def fit(self, series):
         """Fit on an unlabelled ``(C, D)`` series; returns ``self``."""
         raise NotImplementedError

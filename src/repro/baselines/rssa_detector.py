@@ -22,6 +22,7 @@ class RSSADetector(BaseDetector):
     """
 
     name = "RSSA"
+    transductive_only = True  # score() returns the fitted decomposition's scores
 
     def __init__(self, window=None, lam=None, max_iter=200):
         self.window = window

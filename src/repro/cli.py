@@ -6,6 +6,7 @@ Usage::
     python -m repro detect --method RDAE --input series.csv --output scores.csv
     python -m repro detect --method RAE --input series.csv --labels-column label
     python -m repro demo --method RAE
+    python -m repro stream --method RAE --input - --train 200 --window 128
 
 ``detect`` reads a CSV whose columns are the series dimensions (an optional
 header row is auto-detected), computes per-observation outlier scores, and
@@ -30,10 +31,14 @@ def read_series_csv(path, labels_column=None):
     """Load a CSV into ``(values, labels_or_None)``.
 
     The first row is treated as a header when any of its cells is not
-    numeric.  All non-label columns become series dimensions.
+    numeric.  All non-label columns become series dimensions.  ``path`` may
+    be ``"-"`` to read from stdin (the streaming idiom).
     """
-    with open(path) as handle:
-        lines = [line.strip() for line in handle if line.strip()]
+    if str(path) == "-":
+        lines = [line.strip() for line in sys.stdin if line.strip()]
+    else:
+        with open(path) as handle:
+            lines = [line.strip() for line in handle if line.strip()]
     if not lines:
         raise ValueError("empty CSV: %s" % path)
     first = lines[0].split(",")
@@ -95,6 +100,28 @@ def build_parser():
     demo.add_argument("--method", default="RAE")
     demo.add_argument("--dataset", default="S5")
     demo.add_argument("--scale", type=float, default=0.15)
+
+    stream = sub.add_parser(
+        "stream",
+        help="train on the head of a series, then score the rest point by "
+             "point over a sliding window",
+    )
+    stream.add_argument("--method", default="RAE",
+                        help="method name (see list-methods)")
+    stream.add_argument("--input", required=True,
+                        help="input CSV path, or '-' for stdin")
+    stream.add_argument("--train", type=int, default=None,
+                        help="observations read from the head of the input "
+                             "to fit the detector (default: 200)")
+    stream.add_argument("--window", type=int, default=128,
+                        help="sliding-window capacity for streamed scoring")
+    stream.add_argument("--model",
+                        help="load a fitted RAE/RDAE from this .npz instead "
+                             "of training on the head (see repro.core"
+                             ".save_detector); --train is then ignored")
+    stream.add_argument("--chunk", type=int, default=1,
+                        help="arrivals scored per engine call (micro-batching)")
+    stream.add_argument("--output", help="output CSV path (default: stdout)")
     return parser
 
 
@@ -114,6 +141,91 @@ def _run_detect(args):
     if labels is not None and 0 < labels.sum() < labels.size:
         print("PR-AUC  = %.4f" % pr_auc(labels, scores), file=sys.stderr)
         print("ROC-AUC = %.4f" % roc_auc(labels, scores), file=sys.stderr)
+    return 0
+
+
+def _iter_csv_rows(handle):
+    """Yield float rows from a CSV stream lazily, skipping a header row."""
+    first = True
+    for line in handle:
+        line = line.strip()
+        if not line:
+            continue
+        cells = line.split(",")
+        if first:
+            first = False
+            try:
+                [float(c) for c in cells]
+            except ValueError:
+                continue  # header row
+        yield np.array([float(c) for c in cells])
+
+
+def _run_stream(args):
+    """Live streaming loop: scores are emitted (and flushed) as arrivals are
+    scored, so an open-ended pipe on stdin produces output continuously and
+    memory stays bounded by the window — never by the stream length."""
+    from .core import load_detector
+    from .stream import StreamScorer
+
+    source = sys.stdin if str(args.input) == "-" else open(args.input)
+    try:
+        rows = _iter_csv_rows(source)
+        if args.model:
+            detector = load_detector(args.model)
+            head_rows = []
+        else:
+            head = args.train if args.train is not None else 200
+            head_rows = [row for __, row in zip(range(max(head, 2)), rows)]
+            if len(head_rows) < 2:
+                raise ValueError(
+                    "need at least 2 observations to train on; got %d "
+                    "(is the input empty?)" % len(head_rows)
+                )
+            detector = make_detector(args.method)
+            detector.fit(np.stack(head_rows))
+        scorer = StreamScorer(detector, window=args.window)
+        # Seed the window with the training tail so the first streamed
+        # points have context (no scoring pass runs for the seed).
+        if head_rows:
+            scorer.seed(np.stack(head_rows[-args.window :]))
+
+        out = open(args.output, "w") if args.output else sys.stdout
+        streamed = 0
+        try:
+            if args.output:
+                out.write("index,score\n")
+            # A chunk larger than the window would evict (and zero-score)
+            # its own oldest points; clamp so every line is a real score.
+            chunk = int(np.clip(args.chunk, 1, args.window))
+            pending = []
+            index = len(head_rows)
+
+            def emit(batch):
+                nonlocal streamed, index
+                for score in scorer.push_many(np.stack(batch)):
+                    out.write("%d,%.10g\n" % (index, score))
+                    index += 1
+                    streamed += 1
+                out.flush()
+
+            for row in rows:
+                pending.append(row)
+                if len(pending) >= chunk:
+                    emit(pending)
+                    pending = []
+            if pending:
+                emit(pending)
+        finally:
+            if args.output:
+                out.close()
+        if args.output:
+            print("wrote %d streamed scores to %s" % (streamed, args.output))
+        print("streamed %d points (window=%d, method=%s)"
+              % (streamed, args.window, detector.name), file=sys.stderr)
+    finally:
+        if source is not sys.stdin:
+            source.close()
     return 0
 
 
@@ -140,6 +252,8 @@ def main(argv=None):
         return _run_detect(args)
     if args.command == "demo":
         return _run_demo(args)
+    if args.command == "stream":
+        return _run_stream(args)
     return 1  # pragma: no cover
 
 

@@ -14,6 +14,7 @@ from .ensemble import RobustEnsemble
 from .persistence import load_detector, save_detector
 from .rae import RAE
 from .rdae import RDAE
+from .scoring import ScoringSession, batched_score_new
 from .variants import ABLATION_NAMES, NRAE, NRDAE, make_ablation
 
 __all__ = [
@@ -24,6 +25,8 @@ __all__ = [
     "RobustEnsemble",
     "save_detector",
     "load_detector",
+    "ScoringSession",
+    "batched_score_new",
     "make_ablation",
     "ABLATION_NAMES",
     "ConvergenceTrace",

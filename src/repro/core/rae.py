@@ -18,7 +18,7 @@ import numpy as np
 
 from .. import nn
 from ..baselines.base import BaseDetector, as_series
-from ..rpca import hard_threshold, soft_threshold
+from ..rpca import apply_prox as _prox
 from .autoencoders import (
     ConvSeriesAE,
     FCSeriesAE,
@@ -29,14 +29,6 @@ from .autoencoders import (
 from .convergence import ConvergenceTrace, stopping_conditions
 
 __all__ = ["RAE"]
-
-
-def _prox(values, threshold, kind):
-    if kind == "l1":
-        return soft_threshold(values, threshold)
-    if kind == "l0":
-        return hard_threshold(values, threshold)
-    raise ValueError("prox must be 'l1' or 'l0', got %r" % kind)
 
 
 class RAE(BaseDetector):

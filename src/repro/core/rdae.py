@@ -24,7 +24,7 @@ import numpy as np
 
 from .. import nn
 from ..baselines.base import BaseDetector, as_series
-from ..rpca import hard_threshold, soft_threshold
+from ..rpca import apply_prox as _prox
 from ..tsops import deembed_lagged, embed_lagged, hankelize, moving_average
 from .autoencoders import (
     ConvMatrixAE,
@@ -40,14 +40,6 @@ from .autoencoders import (
 from .convergence import ConvergenceTrace, stopping_conditions
 
 __all__ = ["RDAE"]
-
-
-def _prox(values, threshold, kind):
-    if kind == "l1":
-        return soft_threshold(values, threshold)
-    if kind == "l0":
-        return hard_threshold(values, threshold)
-    raise ValueError("prox must be 'l1' or 'l0', got %r" % kind)
 
 
 class RDAE(BaseDetector):

@@ -1,0 +1,223 @@
+"""Warm scoring state for fitted RAE/RDAE detectors.
+
+``score_new`` is stateless: every call re-validates, re-scales, re-embeds and
+runs a full forward pass over whatever it is given.  Serving a stream (or a
+fleet of series) wants the opposite — bind the fitted model once, keep the
+recent window and its lagged embedding hot, and only pay for the arrivals:
+
+* :class:`ScoringSession` — per-stream state: a ring buffer of scaled
+  observations, an incrementally-maintained lagged matrix for the
+  matrix-view path, and a memoised last forward pass.
+* :func:`batched_score_new` — score many same-length series through one
+  forward pass of the fitted autoencoder (the batch axis of the conv stack).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..baselines.base import as_series
+from ..rpca import apply_prox as _prox
+from ..stream.ring import RingBuffer
+from ..tsops.hankel import deembed_lagged, hankelize
+from ..tsops.incremental import SlidingLagged
+from .autoencoders import (
+    matrix_to_tensor,
+    series_to_tensor,
+    tensor_to_matrix,
+    tensor_to_series,
+)
+from .rae import RAE
+from .rdae import RDAE
+
+__all__ = ["ScoringSession", "batched_score_new"]
+
+
+def _check_fitted(detector):
+    if isinstance(detector, RAE):
+        if detector.model_ is None:
+            raise RuntimeError("fit the detector before streaming/batch scoring")
+        return "rae"
+    if isinstance(detector, RDAE):
+        if detector.clean_ is None:
+            raise RuntimeError("fit the detector before streaming/batch scoring")
+        return "rdae_series" if detector._f2 is not None else "rdae_matrix"
+    raise TypeError(
+        "expected a fitted RAE or RDAE, got %s" % type(detector).__name__
+    )
+
+
+class ScoringSession:
+    """Incremental ``score_new`` over a sliding window of a live stream.
+
+    Parameters
+    ----------
+    detector: a *fitted* :class:`RAE` or :class:`RDAE`.
+    window: observations retained for scoring context.  Each arrival is
+        scored from a forward pass over at most this many points, so the
+        per-arrival cost is bounded regardless of stream length.
+
+    The session applies the detector's *training* scaler (the stream is
+    assumed to monitor the trained process), keeps scaled observations in a
+    :class:`RingBuffer`, and — for the lagged-matrix path of f2-less RDAE —
+    maintains the Hankel embedding incrementally via :class:`SlidingLagged`
+    instead of re-embedding the window per arrival.
+
+    For the series paths (RAE, RDAE-with-f2) results match ``score_new`` on
+    the window content exactly.  The matrix path fixes its lag from the
+    window *capacity* (that is what makes incremental updates possible), so
+    it matches ``score_new`` exactly once the ring holds a full window;
+    while it is still filling, ``score_new``'s content-length-based lag
+    clamp can pick a smaller lag and the scores differ slightly.
+    """
+
+    def __init__(self, detector, window=256):
+        self.kind = _check_fitted(detector)
+        self.detector = detector
+        self.window = int(window)
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        self.dims = detector._scale_mean.shape[1]
+        self._ring = RingBuffer(self.window, self.dims)
+        self._lagged = None
+        if self.kind == "rdae_matrix":
+            self._lag = int(np.clip(
+                detector.window, 2, max(2, self.window // 2 - 1)
+            ))
+            self._lagged = SlidingLagged(
+                self._lag, self.dims, max_columns=self.window - self._lag + 1
+            )
+        # Memoised forward state: (arrivals seen when computed, scores).
+        self._cache_total = -1
+        self._cache_scores = np.zeros(0)
+
+    def __len__(self):
+        return len(self._ring)
+
+    @property
+    def total(self):
+        """Observations ever ingested."""
+        return self._ring.total
+
+    def _ingest(self, points, bulk=False):
+        raw = np.asarray(points, dtype=np.float64)
+        if raw.ndim == 1:
+            raw = raw[:, None]
+        if raw.ndim != 2 or raw.shape[1] != self.dims:
+            raise ValueError("points must be (n, %d), got %s"
+                             % (self.dims, raw.shape))
+        scaled = self.detector._apply_scaler(raw)
+        self._ring.extend(scaled)
+        if self._lagged is not None:
+            if bulk:
+                # One vectorised re-embedding of the retained window beats
+                # per-row appends when a whole history arrives at once.
+                self._lagged.rebuild(np.asarray(self._ring.view()))
+            else:
+                self._lagged.extend(scaled)
+        return raw.shape[0]
+
+    def seed(self, history):
+        """Ingest history without scoring it (fast session warm-up).
+
+        Bulk-loads the ring and rebuilds the lagged embedding in one
+        vectorised pass; no forward pass runs until the next ``extend`` /
+        ``scores`` call.  Use this to give the first live arrivals context.
+        """
+        self._ingest(history, bulk=True)
+        return self
+
+    def _forward(self, arr):
+        """Scores of the scaled window ``arr`` via the detector's warm path."""
+        det = self.detector
+        residual = np.zeros_like(arr)
+        with nn.no_grad():
+            if self.kind == "rae":
+                recon = det.model_(nn.Tensor(series_to_tensor(arr))).data
+                residual = arr - tensor_to_series(recon)
+                lam = det.lam
+            elif self.kind == "rdae_series":
+                recon = det._f2(nn.Tensor(series_to_tensor(arr))).data
+                residual = arr - tensor_to_series(recon)
+                lam = det.lam2
+            else:
+                lam = det.lam2
+                # The inner AE's max-pool needs at least 2 lagged columns
+                # (K=1 would pool to width 0); until then the stream is
+                # still warming up and keeps zero evidence.
+                if len(self._lagged) >= 2:
+                    lagged = self._lagged.matrix
+                    recon = det._inner(nn.Tensor(matrix_to_tensor(lagged))).data
+                    clean = deembed_lagged(hankelize(tensor_to_matrix(recon)))
+                    # The embedding needs B observations before its first
+                    # column; observations before that keep zero evidence.
+                    covered = clean.shape[0]
+                    residual[arr.shape[0] - covered :] = arr[arr.shape[0] - covered :] - clean
+        outlier = _prox(residual, lam, det.prox)
+        return (outlier**2).sum(axis=1) + 1e-9 * (residual**2).sum(axis=1)
+
+    def scores(self):
+        """Scores of every observation in the current window."""
+        if self._ring.total != self._cache_total:
+            size = len(self._ring)
+            if size < 2:
+                self._cache_scores = np.zeros(size)
+            else:
+                self._cache_scores = self._forward(np.asarray(self._ring.view()))
+            self._cache_total = self._ring.total
+        return self._cache_scores
+
+    def extend(self, points):
+        """Ingest a chunk and return one score per ingested point.
+
+        The chunk is scored with a single forward pass over the updated
+        window (micro-batching); with chunks of size one this is exactly
+        per-arrival scoring.  Chunk points that overflow the window are
+        evicted before scoring and reported as 0.0 (the warmup convention)
+        — the seeding idiom; keep live chunks within the window size.
+        """
+        n = self._ingest(points)
+        window_scores = self.scores()
+        out = np.zeros(n)
+        tail = min(n, window_scores.shape[0])
+        if tail:
+            out[n - tail:] = window_scores[window_scores.shape[0] - tail:]
+        return out
+
+    def push(self, point):
+        """Ingest one observation and return its score."""
+        return float(self.extend(np.asarray(point, dtype=np.float64).reshape(1, -1))[0])
+
+
+def batched_score_new(detector, series_batch):
+    """Score many same-length series with one forward pass.
+
+    Parameters
+    ----------
+    detector: a fitted :class:`RAE` or :class:`RDAE`.
+    series_batch: array ``(M, C, D)`` or ``(M, C)``, or a list of
+        equal-length series.
+
+    Returns an ``(M, C)`` array of per-observation scores identical to
+    calling ``score_new`` on each series, but amortising the autoencoder
+    forward (and all the NumPy dispatch around it) across the batch.  The
+    f2-less RDAE matrix path does not batch and falls back to a loop.
+    """
+    kind = _check_fitted(detector)
+    if isinstance(series_batch, np.ndarray) and series_batch.ndim == 3:
+        batch = np.asarray(series_batch, dtype=np.float64)
+    else:
+        batch = np.stack([as_series(s) for s in series_batch])
+    if kind == "rdae_matrix":
+        return np.stack([detector.score_new(series) for series in batch])
+    scaled = detector._apply_scaler(batch)           # scaler broadcasts (1, D)
+    tensor = np.ascontiguousarray(scaled.transpose(0, 2, 1))  # (M, D, C)
+    module = detector.model_ if kind == "rae" else detector._f2
+    lam = detector.lam if kind == "rae" else detector.lam2
+    with nn.no_grad():
+        recon = module(nn.Tensor(tensor)).data
+    clean = recon.transpose(0, 2, 1)                 # (M, C, D)
+    residual = scaled - clean
+    outlier = _prox(residual, lam, detector.prox)
+    return (outlier**2).sum(axis=2) + 1e-9 * (residual**2).sum(axis=2)

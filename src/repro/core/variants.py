@@ -39,6 +39,7 @@ class NRAE(BaseDetector):
     """
 
     name = "N-RAE"
+    transductive_only = True  # score() reads the stored fit-time residual
 
     def __init__(self, epochs=30, kernels=16, num_layers=3, kernel_size=3,
                  lr=1e-2, seed=0):
@@ -87,6 +88,7 @@ class NRDAE(BaseDetector):
     the de-embedded series — the dual-view pipeline without any prox."""
 
     name = "N-RDAE"
+    transductive_only = True  # score() reads the stored fit-time residual
 
     def __init__(self, window=50, epochs=10, kernels=8, num_layers=2,
                  kernel_size=3, lr=1e-2, seed=0):

@@ -1,11 +1,13 @@
 """Evaluation harness: method registry, protocol, suite runner, tables."""
 
+from .engine import BatchScoringEngine
 from .harness import SuiteResult, run_suite, significance_against_best_baseline
 from .methods import (
     AE_METHODS,
     METHODS,
     NEURAL_METHODS,
     SEARCH_SPACES,
+    UnknownMethodError,
     available_methods,
     make_detector,
 )
@@ -24,6 +26,8 @@ __all__ = [
     "AE_METHODS",
     "available_methods",
     "make_detector",
+    "UnknownMethodError",
+    "BatchScoringEngine",
     "TrialResult",
     "sample_configurations",
     "random_search_median",

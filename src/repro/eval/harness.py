@@ -13,8 +13,8 @@ import numpy as np
 
 from ..datasets import load_dataset
 from ..metrics import paired_t_test
-from .methods import make_detector
-from .protocol import evaluate_on_dataset
+from .engine import BatchScoringEngine
+from .methods import METHODS, UnknownMethodError
 
 __all__ = ["SuiteResult", "run_suite", "significance_against_best_baseline"]
 
@@ -65,8 +65,28 @@ def run_suite(methods, dataset_names, scale=0.05, seed=0, max_series=2,
     dataset_kwargs = dataset_kwargs or {}
     methods = list(methods)
     dataset_names = list(dataset_names)
+    # Fail loudly before any dataset is generated or detector fitted: a typo
+    # in a method name should not surface as a KeyError hours into a sweep.
+    unknown = [m for m in methods if m not in METHODS]
+    if unknown:
+        raise UnknownMethodError(
+            "unknown method%s %s; known methods: %s"
+            % ("s" if len(unknown) > 1 else "",
+               ", ".join(repr(m) for m in unknown), ", ".join(METHODS))
+        )
     pr_grid = {d: {} for d in dataset_names}
     roc_grid = {d: {} for d in dataset_names}
+    # One engine per method, reused across datasets: the transductive mode
+    # keeps the paper's fresh-fit-per-series protocol (identical numbers to
+    # the old per-call loop) while centralising construction and the
+    # single-class-label bookkeeping.
+    engines = {
+        method: BatchScoringEngine(
+            method=method, overrides=overrides.get(method, {}),
+            mode="transductive",
+        )
+        for method in methods
+    }
     for dataset_name in dataset_names:
         dataset = _trim(
             load_dataset(
@@ -76,10 +96,7 @@ def run_suite(methods, dataset_names, scale=0.05, seed=0, max_series=2,
             max_series,
         )
         for method in methods:
-            kwargs = overrides.get(method, {})
-            pr, roc = evaluate_on_dataset(
-                lambda m=method, kw=kwargs: make_detector(m, **kw), dataset
-            )
+            pr, roc = engines[method].evaluate(dataset)
             pr_grid[dataset_name][method] = pr
             roc_grid[dataset_name][method] = roc
     return SuiteResult(pr=pr_grid, roc=roc_grid, methods=methods,

@@ -30,7 +30,20 @@ from ..baselines import (
 from ..core import NRAE, NRDAE, RAE, RDAE
 
 __all__ = ["METHODS", "SEARCH_SPACES", "make_detector", "available_methods",
-           "NEURAL_METHODS", "AE_METHODS"]
+           "NEURAL_METHODS", "AE_METHODS", "UnknownMethodError"]
+
+
+class UnknownMethodError(ValueError, KeyError):
+    """Raised for a method name absent from the registry.
+
+    Subclasses both ``ValueError`` (it is an invalid argument) and
+    ``KeyError`` (the historical behaviour of a plain dict lookup), so both
+    idioms of catching it keep working.
+    """
+
+    def __str__(self):
+        # KeyError.__str__ repr-quotes the message; report it verbatim.
+        return self.args[0] if self.args else ""
 
 # Paper's column order in Tables II and III (plus RSSA and the non-robust
 # variants used by the sensitivity studies).
@@ -115,5 +128,7 @@ def available_methods():
 def make_detector(name, **overrides):
     """Instantiate method ``name`` with defaults merged with ``overrides``."""
     if name not in METHODS:
-        raise KeyError("unknown method %r; known: %s" % (name, ", ".join(METHODS)))
+        raise UnknownMethodError(
+            "unknown method %r; known methods: %s" % (name, ", ".join(METHODS))
+        )
     return METHODS[name](**overrides)

@@ -2,6 +2,7 @@
 
 from .pcp import PCPResult, robust_pca
 from .prox import (
+    apply_prox,
     group_soft_threshold,
     hard_threshold,
     singular_value_threshold,
@@ -13,6 +14,7 @@ __all__ = [
     "robust_pca",
     "soft_threshold",
     "hard_threshold",
+    "apply_prox",
     "group_soft_threshold",
     "singular_value_threshold",
 ]

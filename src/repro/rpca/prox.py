@@ -16,6 +16,7 @@ __all__ = [
     "hard_threshold",
     "singular_value_threshold",
     "group_soft_threshold",
+    "apply_prox",
 ]
 
 
@@ -36,6 +37,19 @@ def hard_threshold(values, threshold):
     """
     values = np.asarray(values, dtype=np.float64)
     return np.where(np.abs(values) > threshold, values, 0.0)
+
+
+def apply_prox(values, threshold, kind):
+    """Dispatch the PROX step of Algorithms 1/2 by penalty ``kind``.
+
+    Shared by the RAE/RDAE training loops and the streaming scorer so
+    fit-time and serve-time thresholding can never drift apart.
+    """
+    if kind == "l1":
+        return soft_threshold(values, threshold)
+    if kind == "l0":
+        return hard_threshold(values, threshold)
+    raise ValueError("prox must be 'l1' or 'l0', got %r" % kind)
 
 
 def group_soft_threshold(values, threshold, axis=-1):

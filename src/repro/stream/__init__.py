@@ -1,0 +1,14 @@
+"""Streaming inference: ring-buffered incremental scoring of live series.
+
+Converts the repo's one-shot transductive detectors into a servable scoring
+engine: :class:`RingBuffer` holds the live window with copy-free views,
+:class:`StreamScorer` scores each arrival in work bounded by the window size
+(backed by :class:`repro.core.ScoringSession` for the RAE/RDAE warm paths),
+and :class:`repro.eval.BatchScoringEngine` amortises model setup across many
+series.
+"""
+
+from .ring import RingBuffer
+from .scorer import StreamScorer
+
+__all__ = ["RingBuffer", "StreamScorer"]

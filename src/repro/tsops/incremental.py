@@ -1,0 +1,154 @@
+"""Incremental lagged-matrix (Hankel) maintenance for streaming inference.
+
+:func:`repro.tsops.embed_lagged` re-embeds a whole series in ``O(B*K*D)``;
+for a stream that receives one observation at a time this is wasteful —
+appending observation ``s_t`` only adds one column ``[s_{t-B+1} .. s_t]`` to
+the lagged matrix and (in a sliding window) drops the oldest one.
+:class:`SlidingLagged` maintains the matrix under appends in amortised
+``O(B*D)`` per observation by writing new columns into a double-width
+preallocated buffer and compacting only when the buffer runs out.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .hankel import embed_lagged
+
+__all__ = ["append_lagged", "SlidingLagged"]
+
+
+def _as_observation(obs, dims):
+    arr = np.asarray(obs, dtype=np.float64).reshape(-1)
+    if arr.shape[0] != dims:
+        raise ValueError("observation has %d dims, expected %d" % (arr.shape[0], dims))
+    return arr
+
+
+def append_lagged(matrix, obs):
+    """Append one observation to a ``(B, K, D)`` lagged matrix -> ``(B, K+1, D)``.
+
+    The new column holds the last ``B`` observations of the extended series:
+    its first ``B-1`` entries are the last column of ``matrix`` shifted up by
+    one lag, and its final entry is ``obs``.  Equivalent to re-embedding the
+    extended series, at ``O(B*D)`` cost instead of ``O(B*K*D)``.
+    """
+    arr = np.asarray(matrix, dtype=np.float64)
+    squeeze = arr.ndim == 2
+    if squeeze:
+        arr = arr[:, :, None]
+    if arr.ndim != 3:
+        raise ValueError("lagged matrix must be 2D or 3D, got %dD" % arr.ndim)
+    window, __, dims = arr.shape
+    column = np.empty((window, 1, dims))
+    column[:-1, 0] = arr[1:, -1]
+    column[-1, 0] = _as_observation(obs, dims)
+    out = np.concatenate([arr, column], axis=1)
+    return out[:, :, 0] if squeeze else out
+
+
+class SlidingLagged:
+    """Lagged matrix of the most recent observations, updated incrementally.
+
+    Parameters
+    ----------
+    window: the lag ``B`` (number of rows).
+    dims: series dimensionality ``D``.
+    max_columns: keep at most this many columns ``K`` (the matrix then covers
+        the last ``B + K - 1`` observations); ``None`` grows unboundedly.
+
+    ``append`` costs ``O(B*D)`` amortised: columns are written sequentially
+    into a buffer twice the retained width and the live block is copied back
+    to the front only when the buffer is exhausted.
+    """
+
+    def __init__(self, window, dims=1, max_columns=None):
+        self.window = int(window)
+        self.dims = int(dims)
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self.max_columns = None if max_columns is None else int(max_columns)
+        if self.max_columns is not None and self.max_columns < 1:
+            raise ValueError("max_columns must be >= 1 or None")
+        # Ring of the last B observations, used to form each new column.
+        self._tail = np.zeros((self.window, self.dims))
+        self._seen = 0
+        cap = 64 if self.max_columns is None else 2 * self.max_columns
+        self._buffer = np.zeros((self.window, cap, self.dims))
+        self._start = 0
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    @property
+    def matrix(self):
+        """The current ``(B, K, D)`` lagged matrix (a view, do not mutate)."""
+        return self._buffer[:, self._start : self._start + self._count]
+
+    def _grow(self):
+        cap = self._buffer.shape[1]
+        if self.max_columns is None:
+            bigger = np.zeros((self.window, 2 * cap, self.dims))
+            bigger[:, : self._count] = self.matrix
+            self._buffer = bigger
+        else:
+            # Compact the live block back to the front of the double buffer.
+            self._buffer[:, : self._count] = self.matrix.copy()
+        self._start = 0
+
+    def append(self, obs):
+        """Add one observation; returns True when a new column was emitted
+        (i.e. at least ``B`` observations have been seen)."""
+        obs = _as_observation(obs, self.dims)
+        self._tail = np.roll(self._tail, -1, axis=0)
+        self._tail[-1] = obs
+        self._seen += 1
+        if self._seen < self.window:
+            return False
+        if self.max_columns is not None and self._count == self.max_columns:
+            self._start += 1
+            self._count -= 1
+        if self._start + self._count == self._buffer.shape[1]:
+            self._grow()
+        self._buffer[:, self._start + self._count] = self._tail
+        self._count += 1
+        return True
+
+    def extend(self, series):
+        """Append every row of a ``(n, D)`` (or ``(n,)``) chunk."""
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        for row in arr:
+            self.append(row)
+        return self
+
+    def rebuild(self, series):
+        """Reset to exactly the lagged embedding of ``series`` (bulk path).
+
+        Uses :func:`embed_lagged` once, then trims to ``max_columns``; useful
+        to seed the stream with history before switching to appends.
+        """
+        arr = np.asarray(series, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        self._tail = np.zeros((self.window, self.dims))
+        n = arr.shape[0]
+        taken = min(n, self.window)
+        self._tail[self.window - taken :] = arr[n - taken :]
+        self._seen = n
+        self._start = 0
+        if n < self.window:
+            self._count = 0
+            return self
+        lagged = embed_lagged(arr, self.window)
+        if self.max_columns is not None and lagged.shape[1] > self.max_columns:
+            lagged = lagged[:, -self.max_columns :]
+        if lagged.shape[1] > self._buffer.shape[1]:
+            self._buffer = np.zeros(
+                (self.window, 2 * lagged.shape[1], self.dims)
+            )
+        self._buffer[:, : lagged.shape[1]] = lagged
+        self._count = lagged.shape[1]
+        return self

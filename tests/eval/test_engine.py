@@ -1,0 +1,152 @@
+"""BatchScoringEngine: warm starts, micro-batching, and protocol parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import RAE
+from repro.datasets import load_dataset
+from repro.eval import BatchScoringEngine, evaluate_on_dataset, make_detector
+
+
+def make_fleet(num=5, length=160, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    fleet = []
+    for i in range(num):
+        values = np.sin(2 * np.pi * t / 20) + 0.05 * rng.standard_normal(length)
+        values[20 + 13 * i] += 5.0
+        fleet.append(values[:, None])
+    return fleet
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("SYN", seed=0, scale=0.06, num_series=2)
+
+
+def test_requires_exactly_one_source():
+    with pytest.raises(ValueError):
+        BatchScoringEngine()
+    with pytest.raises(ValueError):
+        BatchScoringEngine(method="RAE", detector=RAE())
+    with pytest.raises(ValueError):
+        BatchScoringEngine(method="RAE", mode="bogus")
+
+
+def test_warm_batched_matches_per_series_score_new():
+    fleet = make_fleet()
+    engine = BatchScoringEngine(
+        method="RAE", overrides={"max_iterations": 5}, mode="warm", batch_size=2
+    )
+    engine.fit(fleet[0])
+    batched = engine.score_many(fleet)
+    assert len(batched) == len(fleet)
+    for series, scores in zip(fleet, batched):
+        assert scores.shape == (len(series),)
+        assert np.allclose(scores, engine.detector.score_new(series))
+
+
+def test_warm_mode_autofits_on_first_series():
+    fleet = make_fleet(num=3)
+    engine = BatchScoringEngine(
+        method="RAE", overrides={"max_iterations": 4}, mode="warm"
+    )
+    scores = engine.score_many(fleet)
+    assert engine._fitted
+    assert all(np.isfinite(s).all() for s in scores)
+
+
+def test_warm_mode_groups_mixed_lengths():
+    fleet = make_fleet(num=2, length=120) + make_fleet(num=2, length=90, seed=5)
+    engine = BatchScoringEngine(
+        method="RAE", overrides={"max_iterations": 4}, mode="warm"
+    )
+    engine.fit(fleet[0])
+    scores = engine.score_many(fleet)
+    assert [len(s) for s in scores] == [120, 120, 90, 90]
+
+
+def test_warm_mode_with_classical_detector():
+    fleet = make_fleet(num=3)
+    engine = BatchScoringEngine(method="EMA", mode="warm")
+    scores = engine.score_many(fleet)
+    assert all(s.shape == (len(f),) for s, f in zip(scores, fleet))
+
+
+def test_transductive_matches_evaluate_on_dataset(dataset):
+    engine = BatchScoringEngine(method="EMA", mode="transductive")
+    pr_engine, roc_engine = engine.evaluate(dataset)
+    pr_ref, roc_ref = evaluate_on_dataset(lambda: make_detector("EMA"), dataset)
+    assert np.isclose(pr_engine, pr_ref)
+    assert np.isclose(roc_engine, roc_ref)
+
+
+def test_evaluate_rejects_unevaluable_dataset(dataset):
+    class AllClean:
+        name = "clean"
+
+        def __iter__(self):
+            ts = dataset[0]
+            ts = type(ts)(name=ts.name, values=ts.values,
+                          labels=np.zeros_like(ts.labels))
+            return iter([ts])
+
+    with pytest.raises(ValueError):
+        BatchScoringEngine(method="EMA").evaluate(AllClean())
+
+
+def test_persistence_roundtrip(tmp_path):
+    fleet = make_fleet(num=2)
+    engine = BatchScoringEngine(
+        method="RAE", overrides={"max_iterations": 5}, mode="warm"
+    )
+    engine.fit(fleet[0])
+    path = engine.save(tmp_path / "proto.npz")
+    revived = BatchScoringEngine.from_saved(path)
+    original = engine.score_many(fleet)
+    reloaded = revived.score_many(fleet)
+    for a, b in zip(original, reloaded):
+        assert np.allclose(a, b)
+
+
+def test_warm_mode_rejects_transductive_only_methods():
+    """Regression: RSSA/N-RAE score() ignores its argument — warm serving
+    would hand every series the reference's frozen scores."""
+    fleet = make_fleet(num=2)
+    for method in ("RSSA", "N-RAE"):
+        engine = BatchScoringEngine(method=method, mode="warm")
+        with pytest.raises(ValueError, match="transductive-only"):
+            engine.score_many(fleet)
+    # The transductive protocol remains the supported route.
+    engine = BatchScoringEngine(method="RSSA", mode="transductive")
+    scores = engine.score_many(fleet[:1])
+    assert scores[0].shape == (len(fleet[0]),)
+
+
+def test_transductive_mode_never_builds_a_prototype():
+    engine = BatchScoringEngine(method="RAE", mode="transductive")
+    engine.score_many(make_fleet(num=1))
+    assert engine._detector is None  # lazily skipped entirely
+
+
+def test_warm_mode_honours_user_fitted_detector():
+    """Regression: a caller-fitted non-AE detector must be used as-is —
+    never silently refitted on the first scored series."""
+    from repro.baselines import LOF
+
+    reference = make_fleet(num=1, seed=3)[0]
+    fleet = make_fleet(num=2, seed=4)
+    det = LOF(n_neighbors=10).fit(reference)
+    engine = BatchScoringEngine(detector=det, mode="warm")
+    scores = engine.score_many(fleet)
+    assert np.allclose(scores[0], det.score(fleet[0]))
+    assert np.allclose(scores[1], det.score(fleet[1]))
+
+
+def test_detector_instance_transductive_deepcopies():
+    fleet = make_fleet(num=2)
+    prototype = RAE(max_iterations=4)
+    engine = BatchScoringEngine(detector=prototype, mode="transductive")
+    engine.score_many(fleet)
+    # The prototype itself must never be fitted by the transductive path.
+    assert prototype.clean_ is None

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.eval import (
+    UnknownMethodError,
     render_sweep,
     render_table,
     run_suite,
@@ -21,6 +22,18 @@ def small_suite():
         overrides={"RAE": {"max_iterations": 8}},
         dataset_kwargs={"S5": {"num_series": 1}, "SYN": {"num_series": 1}},
     )
+
+
+def test_unknown_method_fails_loudly_before_any_work():
+    """A typo must raise immediately with a self-explanatory message, not
+    surface as a bare KeyError mid-sweep."""
+    with pytest.raises(UnknownMethodError, match="unknown method 'EMA2'"):
+        run_suite(["EMA", "EMA2"], ["S5"])
+    with pytest.raises(ValueError, match="known methods: .*RDAE"):
+        run_suite(["nope"], ["S5"])
+    # Several typos are all reported at once.
+    with pytest.raises(UnknownMethodError, match="'foo', 'bar'"):
+        run_suite(["foo", "bar"], ["S5"])
 
 
 def test_suite_grid_complete(small_suite):

@@ -105,3 +105,70 @@ def test_demo_runs(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# --------------------------- repro stream ------------------------------- #
+
+@pytest.fixture
+def streaming_csv(tmp_path):
+    rng = np.random.default_rng(1)
+    t = np.arange(240)
+    values = np.sin(2 * np.pi * t / 24) + 0.05 * rng.standard_normal(240)
+    values[200] += 6.0  # incident inside the streamed segment
+    path = tmp_path / "stream.csv"
+    with open(path, "w") as handle:
+        handle.write("value\n")
+        for v in values:
+            handle.write("%.6f\n" % v)
+    return path
+
+
+def test_stream_smoke_stdin(streaming_csv, capsys, monkeypatch):
+    """Pipe a synthetic series in, assert one score line per streamed point."""
+    with open(streaming_csv) as handle:
+        monkeypatch.setattr("sys.stdin", handle)
+        code = main([
+            "stream", "--method", "EMA", "--input", "-",
+            "--train", "120", "--window", "48",
+        ])
+    assert code == 0
+    captured = capsys.readouterr()
+    lines = captured.out.splitlines()
+    assert len(lines) == 120  # 240 points - 120 training head
+    indices, scores = zip(*(line.split(",") for line in lines))
+    assert [int(i) for i in indices] == list(range(120, 240))
+    values = [float(s) for s in scores]
+    assert all(np.isfinite(values))
+    # The planted incident at t=200 dominates the streamed scores.
+    assert indices[int(np.argmax(values))] == "200"
+    assert "streamed 120 points" in captured.err
+
+
+def test_stream_writes_output_csv(streaming_csv, tmp_path, capsys):
+    out_path = tmp_path / "scores.csv"
+    code = main([
+        "stream", "--method", "EMA", "--input", str(streaming_csv),
+        "--train", "120", "--window", "48", "--chunk", "16",
+        "--output", str(out_path),
+    ])
+    assert code == 0
+    content = out_path.read_text().splitlines()
+    assert content[0] == "index,score"
+    assert len(content) == 121
+    assert "wrote 120 streamed scores" in capsys.readouterr().out
+
+
+def test_stream_from_saved_model(streaming_csv, tmp_path, capsys):
+    from repro.cli import read_series_csv
+    from repro.core import RAE, save_detector
+
+    values, __ = read_series_csv(streaming_csv)
+    model_path = tmp_path / "rae.npz"
+    save_detector(RAE(max_iterations=4).fit(values[:120]), model_path)
+    code = main([
+        "stream", "--input", str(streaming_csv),
+        "--model", str(model_path), "--window", "48",
+    ])
+    assert code == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert len(lines) == 240  # no training head: every point is streamed

@@ -1,0 +1,116 @@
+"""Cross-detector contract suite.
+
+Every method in the :mod:`repro.eval.methods` registry must honour the same
+``fit``/``score`` contract regardless of family (classical, decomposition,
+deep, robust): per-observation score shapes, finite values, determinism
+under a fixed seed, and agreement between one-shot and streamed scoring of
+the same series.  The suite is what lets refactors of the scoring paths
+(streaming, batching, warm starts) prove they broke no baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import available_methods, make_detector
+from repro.stream import StreamScorer
+
+LENGTH = 72
+
+# Speed overrides: keep each method's structure but shrink the training work
+# so the whole zoo stays tier-1 fast.
+CONTRACT_OVERRIDES = {
+    "OCSVM": {"iterations": 40, "max_points": 200},
+    "LOF": {"n_neighbors": 10},
+    "ISF": {"n_trees": 10, "subsample": 48},
+    "RN": {"n_models": 2, "epochs": 2},
+    "CNNAE": {"epochs": 2},
+    "RNNAE": {"epochs": 2, "hidden": 8},
+    "BGAN": {"epochs": 2},
+    "DONUT": {"epochs": 2},
+    "OMNI": {"epochs": 2, "hidden": 8},
+    "TAE": {"epochs": 2, "d_model": 16, "num_heads": 2},
+    "RDA": {"outer_iterations": 2, "inner_epochs": 2},
+    "RAE": {"max_iterations": 4},
+    "RDAE": {"window": 20, "max_outer": 1, "inner_iterations": 2,
+             "series_iterations": 2},
+    "RSSA": {"max_iter": 15},
+    "N-RAE": {"epochs": 4},
+    "N-RDAE": {"window": 20, "epochs": 2},
+}
+
+METHOD_NAMES = available_methods()
+
+
+def build(method):
+    return make_detector(method, **CONTRACT_OVERRIDES.get(method, {}))
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(11)
+    t = np.arange(LENGTH)
+    values = np.sin(2 * np.pi * t / 18) + 0.05 * rng.standard_normal(LENGTH)
+    values[30] += 5.0
+    values[55] -= 4.0
+    return values[:, None]
+
+
+@pytest.fixture(scope="module")
+def one_shot_scores(series):
+    """One fit_score per method, shared by the shape/finiteness checks."""
+    return {method: build(method).fit_score(series)
+            for method in METHOD_NAMES}
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_score_shape_and_finite(method, one_shot_scores):
+    scores = one_shot_scores[method]
+    assert isinstance(scores, np.ndarray)
+    assert scores.shape == (LENGTH,)
+    assert np.isfinite(scores).all()
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_accepts_1d_input(method, series, one_shot_scores):
+    scores = build(method).fit_score(series[:, 0])
+    assert scores.shape == (LENGTH,)
+    assert np.allclose(scores, one_shot_scores[method])
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_deterministic_under_fixed_seed(method, series, one_shot_scores):
+    again = build(method).fit_score(series)
+    assert np.allclose(again, one_shot_scores[method]), (
+        "%s is not deterministic under its default seed" % method
+    )
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_streamed_agrees_with_one_shot(method, series):
+    """Streaming the series through a full-length window must reproduce the
+    one-shot scores: the streaming layer may reorganise *how* scoring runs,
+    never *what* it computes."""
+    reference_det = build(method)
+    if hasattr(reference_det, "score_new"):
+        reference = reference_det.fit(series).score_new(series)
+    else:
+        reference = reference_det.fit_score(series)
+
+    streamed_det = build(method).fit(series)
+    scorer = StreamScorer(streamed_det, window=LENGTH)
+    streamed = scorer.push_many(series)
+    assert streamed.shape == (LENGTH,)
+    assert np.allclose(streamed, reference), (
+        "%s: streamed scores diverge from one-shot scores" % method
+    )
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_point_by_point_pushes_are_finite(method, series):
+    detector = build(method).fit(series[:-3])
+    scorer = StreamScorer(detector, window=48)
+    scorer.push_many(series[:-3])
+    for point in series[-3:]:
+        score = scorer.push(point)
+        assert isinstance(score, float)
+        assert np.isfinite(score)

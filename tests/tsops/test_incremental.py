@@ -1,0 +1,78 @@
+"""Incremental lagged-matrix maintenance vs full re-embedding."""
+
+import numpy as np
+import pytest
+
+from repro.tsops import SlidingLagged, append_lagged, embed_lagged
+
+
+@pytest.fixture
+def series(rng):
+    return rng.standard_normal((64, 2))
+
+
+def test_append_lagged_equals_reembedding(series):
+    matrix = embed_lagged(series[:-1], 9)
+    extended = append_lagged(matrix, series[-1])
+    assert np.allclose(extended, embed_lagged(series, 9))
+
+
+def test_append_lagged_2d_squeeze(rng):
+    values = rng.standard_normal(20)
+    matrix = embed_lagged(values[:-1], 5)[:, :, 0]
+    extended = append_lagged(matrix, values[-1])
+    assert extended.ndim == 2
+    assert np.allclose(extended, embed_lagged(values, 5)[:, :, 0])
+
+
+def test_append_lagged_rejects_bad_obs(series):
+    matrix = embed_lagged(series, 4)
+    with pytest.raises(ValueError):
+        append_lagged(matrix, np.zeros(3))
+
+
+def test_growing_matches_embed_lagged(series):
+    sliding = SlidingLagged(8, 2)
+    emitted = [sliding.append(row) for row in series]
+    # No column exists until the first full lag window.
+    assert emitted[:7] == [False] * 7 and all(emitted[7:])
+    assert np.allclose(sliding.matrix, embed_lagged(series, 8))
+
+
+def test_sliding_window_keeps_last_columns(series):
+    sliding = SlidingLagged(8, 2, max_columns=12)
+    sliding.extend(series)
+    # K=12 columns over lag 8 cover the last 8+12-1 observations.
+    assert np.allclose(sliding.matrix, embed_lagged(series[-19:], 8))
+
+
+def test_many_appends_amortised_compaction(rng):
+    # Push far beyond the double-buffer width to exercise compaction.
+    data = rng.standard_normal((500, 1))
+    sliding = SlidingLagged(6, 1, max_columns=10)
+    sliding.extend(data)
+    assert np.allclose(sliding.matrix, embed_lagged(data[-15:], 6))
+
+
+def test_rebuild_then_append_continues_seamlessly(series, rng):
+    sliding = SlidingLagged(8, 2, max_columns=20).rebuild(series)
+    extra = rng.standard_normal((15, 2))
+    sliding.extend(extra)
+    combined = np.vstack([series, extra])
+    assert np.allclose(sliding.matrix, embed_lagged(combined[-27:], 8))
+
+
+def test_rebuild_with_short_history(rng):
+    short = rng.standard_normal((5, 1))
+    sliding = SlidingLagged(8, 1).rebuild(short)
+    assert len(sliding) == 0
+    # The short history still counts toward the lag tail.
+    for row in rng.standard_normal((3, 1)):
+        sliding.append(row)
+    assert len(sliding) == 1
+
+
+def test_matrix_is_view_not_copy(series):
+    sliding = SlidingLagged(4, 2)
+    sliding.extend(series[:10])
+    assert sliding.matrix.base is not None
