@@ -1,0 +1,91 @@
+"""Sharded serving: one router, a fleet of live streams, batched drains.
+
+Run:  python examples/sharded_serving.py
+
+``examples/streaming_monitoring.py`` serves ONE stream with a dedicated
+:class:`repro.stream.StreamScorer`.  A monitoring fleet has hundreds of
+hosts, each its own series, arriving interleaved and in bursts.  This
+example
+
+1. trains one RAE on shared history and hangs a fleet of host streams off
+   one :class:`repro.serve.StreamRouter` (a scorer shard per host),
+2. replays a bursty interleaved feed through the bounded ingestion queue,
+   draining every burst as one micro-batched forward pass across shards,
+3. alerts per stream, and reads the router's stats surface (per-stream
+   lag, scored/dropped counters, queue depth) — the numbers an operator
+   would export to a dashboard.
+"""
+
+import numpy as np
+
+from repro.core import RAE
+from repro.serve import StreamRouter
+
+
+def make_traffic(seed, length, incidents=()):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    values = (
+        np.sin(2 * np.pi * t / 48)
+        + 0.3 * np.sin(2 * np.pi * t / 12)
+        + 0.08 * rng.standard_normal(length)
+    )
+    for pos, magnitude in incidents:
+        values[pos] += magnitude
+    return values[:, None]
+
+
+def main():
+    hosts = ["web-%02d" % i for i in range(12)]
+    history = make_traffic(seed=0, length=480)
+    live = {
+        host: make_traffic(seed=10 + i, length=180,
+                           incidents=((110, 5.0),) if host == "web-07" else ())
+        for i, host in enumerate(hosts)
+    }
+
+    print("training one RAE on %d shared historical points ..." % len(history))
+    detector = RAE(max_iterations=12).fit(history)
+
+    # One shard per host, all sharing the fitted detector — which is what
+    # lets every drain group their forward passes into one batch.
+    router = StreamRouter(detector, window=96, queue_limit=2048)
+    for host in hosts:
+        router.add_stream(host).seed(history[-96:])
+
+    # Calibrate one alert threshold on the history (shared process).
+    baseline = router.stream(hosts[0]).rescore()
+    threshold = 2.0 * baseline.max()
+    print("serving %d streams, alert threshold %.4f" % (len(hosts), threshold))
+
+    # --- bursty replay: arrivals enqueue, drains score ------------------ #
+    alerts = []
+    burst = 8  # arrivals buffered before each drain (per stream)
+    length = len(next(iter(live.values())))
+    for lo in range(0, length, burst):
+        for host in hosts:
+            router.submit_many(host, live[host][lo : lo + burst])
+        for host, scores in router.drain().items():
+            for offset, score in enumerate(scores):
+                if score > threshold:
+                    alerts.append((host, lo + offset, float(score)))
+
+    for host, step, score in alerts:
+        print("ALERT %-8s t=%3d score=%8.4f (threshold %.4f)"
+              % (host, step, score, threshold))
+    stats = router.stats()
+    print("router: %d streams, %d scored, %d dropped, %d drains, "
+          "queue depth %d"
+          % (stats["streams"], stats["scored"], stats["dropped"],
+             stats["drains"], stats["queue_depth"]))
+    worst = max(stats["per_stream"].items(), key=lambda kv: kv[1]["lag"])
+    print("max per-stream lag: %s (%d queued)" % (worst[0], worst[1]["lag"]))
+
+    assert any(host == "web-07" for host, __, __s in alerts), (
+        "the planted incident on web-07 should have alerted"
+    )
+    print("done: the planted incident on web-07 was caught.")
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,15 @@ package also serves continuous traffic:
   series: fit once (or warm-start from a ``.npz`` saved by
   :func:`repro.core.save_detector`), then micro-batch same-length series
   through a single autoencoder forward pass.
-* ``python -m repro stream`` exposes the same machinery on the command line
-  (train on the head of a CSV, emit one score line per streamed point), and
-  ``examples/streaming_monitoring.py`` shows a live-monitoring loop.
+* :class:`repro.serve.StreamRouter` scales the streaming path to fleets:
+  many named streams (one scorer shard each) behind a bounded ingestion
+  queue, with bursts drained as micro-batches — same-detector shards share
+  one grouped forward pass per drain.
+* ``python -m repro stream`` exposes the single-stream machinery on the
+  command line (train on the head of a CSV, emit one score line per
+  streamed point); ``python -m repro serve`` serves many interleaved
+  streams over a ``stream_id,value...`` line protocol.  See
+  ``examples/streaming_monitoring.py`` and ``examples/sharded_serving.py``.
 """
 
 from . import (
@@ -41,6 +47,7 @@ from . import (
     metrics,
     nn,
     rpca,
+    serve,
     stream,
     tsops,
     viz,
@@ -56,6 +63,7 @@ __all__ = [
     "NRDAE",
     "nn",
     "rpca",
+    "serve",
     "stream",
     "tsops",
     "datasets",

@@ -7,6 +7,7 @@ Usage::
     python -m repro detect --method RAE --input series.csv --labels-column label
     python -m repro demo --method RAE
     python -m repro stream --method RAE --input - --train 200 --window 128
+    python -m repro serve --model rae.npz --input - --drain-every 32
 
 ``detect`` reads a CSV whose columns are the series dimensions (an optional
 header row is auto-detected), computes per-observation outlier scores, and
@@ -122,6 +123,33 @@ def build_parser():
     stream.add_argument("--chunk", type=int, default=1,
                         help="arrivals scored per engine call (micro-batching)")
     stream.add_argument("--output", help="output CSV path (default: stdout)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve many interleaved streams: read 'stream_id,value...' "
+             "lines, score bursts as micro-batched drains",
+    )
+    serve.add_argument("--input", default="-",
+                       help="input path, or '-' (default) for stdin; each "
+                            "line is 'stream_id,v1[,v2...]'")
+    serve.add_argument("--model",
+                       help="fitted RAE/RDAE .npz shared by every stream "
+                            "shard (see repro.core.save_detector)")
+    serve.add_argument("--method", default="RAE",
+                       help="method to fit when --model is not given")
+    serve.add_argument("--train-input",
+                       help="CSV series to fit the shared detector on when "
+                            "--model is not given")
+    serve.add_argument("--window", type=int, default=128,
+                       help="sliding-window capacity per stream shard")
+    serve.add_argument("--queue-limit", type=int, default=4096,
+                       help="bound on queued-but-unscored arrivals")
+    serve.add_argument("--on-full", choices=("error", "drop-oldest"),
+                       default="error",
+                       help="backpressure policy when the queue is full")
+    serve.add_argument("--drain-every", type=int, default=32,
+                       help="arrivals buffered between scoring drains")
+    serve.add_argument("--output", help="output CSV path (default: stdout)")
     return parser
 
 
@@ -229,6 +257,85 @@ def _run_stream(args):
     return 0
 
 
+def _run_serve(args):
+    """Multi-stream serving loop over a ``stream_id,value...`` line protocol.
+
+    Lines are enqueued as they arrive; every ``--drain-every`` arrivals the
+    router drains the burst as one micro-batched scoring pass and emits
+    ``stream_id,index,score`` lines (flushed per drain).  Stream shards are
+    created on first sight of a new id, all sharing one fitted detector —
+    which is what lets a drain group their forward passes.
+    """
+    from .core import load_detector
+    from .serve import StreamRouter
+
+    if args.model:
+        detector = load_detector(args.model)
+    elif args.train_input:
+        values, __ = read_series_csv(args.train_input)
+        detector = make_detector(args.method)
+        detector.fit(values)
+    else:
+        raise SystemExit("serve needs --model or --train-input "
+                         "(a shared detector to serve every stream with)")
+    router = StreamRouter(
+        detector,
+        window=args.window,
+        queue_limit=args.queue_limit,
+        on_full=args.on_full.replace("-", "_"),
+    )
+    emitted = {}
+
+    source = sys.stdin if str(args.input) == "-" else open(args.input)
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        if args.output:
+            out.write("stream,index,score\n")
+
+        def emit(results):
+            for stream_id, scores in results.items():
+                index = emitted.setdefault(stream_id, 0)
+                for score in scores:
+                    out.write("%s,%d,%.10g\n" % (stream_id, index, score))
+                    index += 1
+                emitted[stream_id] = index
+            out.flush()
+
+        # Drain before the queue can fill: with the 'error' policy a
+        # drain-every above the queue limit would raise QueueFullError
+        # before the first drain was ever reached.
+        drain_every = int(np.clip(args.drain_every, 1, args.queue_limit))
+        buffered = 0
+        for line in source:
+            line = line.strip()
+            if not line:
+                continue
+            cells = line.split(",")
+            try:
+                row = [float(c) for c in cells[1:]]
+            except (ValueError, IndexError):
+                continue  # header or malformed line
+            if not row:
+                continue
+            router.submit(cells[0].strip(), row)
+            buffered += 1
+            if buffered >= drain_every:
+                emit(router.drain())
+                buffered = 0
+        emit(router.drain())
+    finally:
+        if args.output:
+            out.close()
+        if source is not sys.stdin:
+            source.close()
+    stats = router.stats()
+    print("served %d streams: %d scored, %d dropped, %d drains "
+          "(window=%d, method=%s)"
+          % (stats["streams"], stats["scored"], stats["dropped"],
+             stats["drains"], args.window, detector.name), file=sys.stderr)
+    return 0
+
+
 def _run_demo(args):
     dataset = load_dataset(args.dataset, scale=args.scale)
     print(dataset.summary())
@@ -254,6 +361,8 @@ def main(argv=None):
         return _run_demo(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "serve":
+        return _run_serve(args)
     return 1  # pragma: no cover
 
 

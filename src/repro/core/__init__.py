@@ -14,7 +14,12 @@ from .ensemble import RobustEnsemble
 from .persistence import load_detector, save_detector
 from .rae import RAE
 from .rdae import RDAE
-from .scoring import ScoringSession, batched_score_new
+from .scoring import (
+    ScoringSession,
+    batched_score_new,
+    batched_session_scores,
+    iter_key_batches,
+)
 from .variants import ABLATION_NAMES, NRAE, NRDAE, make_ablation
 
 __all__ = [
@@ -27,6 +32,8 @@ __all__ = [
     "load_detector",
     "ScoringSession",
     "batched_score_new",
+    "batched_session_scores",
+    "iter_key_batches",
     "make_ablation",
     "ABLATION_NAMES",
     "ConvergenceTrace",

@@ -53,7 +53,7 @@ def save_detector(detector, path):
         kind, arg_names = "RDAE", _RDAE_ARGS
     else:
         raise TypeError("can only save RAE or RDAE, got %s" % type(detector).__name__)
-    if detector.clean_ is None:
+    if not detector.is_fitted():
         raise RuntimeError("fit the detector before saving")
     config = {name: getattr(detector, name) for name in arg_names}
     arrays = {

@@ -133,6 +133,15 @@ class RAE(BaseDetector):
         self.trace_ = trace
         return self
 
+    def is_fitted(self):
+        """Whether :meth:`fit` (or a persistence load) has completed.
+
+        The single source of truth for fitted-state checks: the scoring
+        session, the batch engine, and persistence all key on this instead
+        of probing ``model_``/``clean_`` with their own conventions.
+        """
+        return self.model_ is not None and self.clean_ is not None
+
     def score(self, series):
         """Outlier scores ``||s_S_i||_2^2`` (Eq. 13).
 

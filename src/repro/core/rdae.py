@@ -255,6 +255,15 @@ class RDAE(BaseDetector):
         self.trace_ = trace
         return self
 
+    def is_fitted(self):
+        """Whether :meth:`fit` (or a persistence load) has completed.
+
+        The single source of truth for fitted-state checks, shared with
+        :meth:`RAE.is_fitted`: scoring needs the trained modules and
+        persistence needs the decomposition, so both must be present.
+        """
+        return self.clean_ is not None and getattr(self, "_inner", None) is not None
+
     def score(self, series):
         """Outlier scores ``||s_S_i||_2^2`` (Eq. 13), with the sub-threshold
         residual as an order-consistent tiebreak among zeroed entries."""

@@ -10,6 +10,11 @@ recent window and its lagged embedding hot, and only pay for the arrivals:
   matrix-view path, and a memoised last forward pass.
 * :func:`batched_score_new` — score many same-length series through one
   forward pass of the fitted autoencoder (the batch axis of the conv stack).
+* :func:`batched_session_scores` — refresh many live sessions at once:
+  sessions that share a detector and window shape are stacked through one
+  forward pass (the sharded-serving drain path of :mod:`repro.serve`).
+* :func:`iter_key_batches` — the same-shape grouping used by every batched
+  path (here and in :class:`repro.eval.BatchScoringEngine`).
 """
 
 from __future__ import annotations
@@ -22,30 +27,66 @@ from ..rpca import apply_prox as _prox
 from ..stream.ring import RingBuffer
 from ..tsops.hankel import deembed_lagged, hankelize
 from ..tsops.incremental import SlidingLagged
-from .autoencoders import (
-    matrix_to_tensor,
-    series_to_tensor,
-    tensor_to_matrix,
-    tensor_to_series,
-)
+from .autoencoders import matrix_to_tensor, tensor_to_matrix
 from .rae import RAE
 from .rdae import RDAE
 
-__all__ = ["ScoringSession", "batched_score_new"]
+__all__ = [
+    "ScoringSession",
+    "batched_score_new",
+    "batched_session_scores",
+    "iter_key_batches",
+]
 
 
 def _check_fitted(detector):
+    if not isinstance(detector, (RAE, RDAE)):
+        raise TypeError(
+            "expected a fitted RAE or RDAE, got %s" % type(detector).__name__
+        )
+    if not detector.is_fitted():
+        raise RuntimeError("fit the detector before streaming/batch scoring")
     if isinstance(detector, RAE):
-        if detector.model_ is None:
-            raise RuntimeError("fit the detector before streaming/batch scoring")
         return "rae"
-    if isinstance(detector, RDAE):
-        if detector.clean_ is None:
-            raise RuntimeError("fit the detector before streaming/batch scoring")
-        return "rdae_series" if detector._f2 is not None else "rdae_matrix"
-    raise TypeError(
-        "expected a fitted RAE or RDAE, got %s" % type(detector).__name__
-    )
+    return "rdae_series" if detector._f2 is not None else "rdae_matrix"
+
+
+def iter_key_batches(keys, batch_size):
+    """Group positions ``0..len(keys)-1`` by key, yield batches of indices.
+
+    Every batched scoring path wants the same thing: partition a work list
+    into same-key groups (same shape, same detector, ...) that can share one
+    forward pass, then chunk each group by ``batch_size``.  Yields lists of
+    indices into ``keys``; within a group, input order is preserved.
+    """
+    batch_size = max(int(batch_size), 1)
+    groups = {}
+    for index, key in enumerate(keys):
+        groups.setdefault(key, []).append(index)
+    for indices in groups.values():
+        for lo in range(0, len(indices), batch_size):
+            yield indices[lo : lo + batch_size]
+
+
+def _forward_scaled_batch(detector, kind, scaled):
+    """Score an already-scaled ``(M, C, D)`` batch with one forward pass.
+
+    The shared core of :func:`batched_score_new`,
+    :func:`batched_session_scores` and the series paths of
+    :meth:`ScoringSession._forward`: run the fitted module over the batch
+    axis, then prox-threshold the residuals into per-observation scores.
+    Only the series kinds batch; the lagged-matrix path is handled by its
+    callers.
+    """
+    tensor = np.ascontiguousarray(scaled.transpose(0, 2, 1))  # (M, D, C)
+    module = detector.model_ if kind == "rae" else detector._f2
+    lam = detector.lam if kind == "rae" else detector.lam2
+    with nn.no_grad():
+        recon = module(nn.Tensor(tensor)).data
+    clean = recon.transpose(0, 2, 1)                 # (M, C, D)
+    residual = scaled - clean
+    outlier = _prox(residual, lam, detector.prox)
+    return (outlier**2).sum(axis=2) + 1e-9 * (residual**2).sum(axis=2)
 
 
 class ScoringSession:
@@ -128,32 +169,36 @@ class ScoringSession:
         self._ingest(history, bulk=True)
         return self
 
+    def ingest(self, points):
+        """Ingest a chunk *without* scoring it (the batched-drain hook).
+
+        Unlike :meth:`seed`, the lagged embedding is advanced incrementally
+        (exactly as :meth:`extend` would), so a later :meth:`scores` call —
+        possibly refreshed for many sessions at once by
+        :func:`batched_session_scores` — sees the same state as per-chunk
+        scoring.  Returns the number of ingested points.
+        """
+        return self._ingest(points)
+
     def _forward(self, arr):
         """Scores of the scaled window ``arr`` via the detector's warm path."""
         det = self.detector
+        if self.kind != "rdae_matrix":
+            return _forward_scaled_batch(det, self.kind, arr[None])[0]
         residual = np.zeros_like(arr)
+        lam = det.lam2
         with nn.no_grad():
-            if self.kind == "rae":
-                recon = det.model_(nn.Tensor(series_to_tensor(arr))).data
-                residual = arr - tensor_to_series(recon)
-                lam = det.lam
-            elif self.kind == "rdae_series":
-                recon = det._f2(nn.Tensor(series_to_tensor(arr))).data
-                residual = arr - tensor_to_series(recon)
-                lam = det.lam2
-            else:
-                lam = det.lam2
-                # The inner AE's max-pool needs at least 2 lagged columns
-                # (K=1 would pool to width 0); until then the stream is
-                # still warming up and keeps zero evidence.
-                if len(self._lagged) >= 2:
-                    lagged = self._lagged.matrix
-                    recon = det._inner(nn.Tensor(matrix_to_tensor(lagged))).data
-                    clean = deembed_lagged(hankelize(tensor_to_matrix(recon)))
-                    # The embedding needs B observations before its first
-                    # column; observations before that keep zero evidence.
-                    covered = clean.shape[0]
-                    residual[arr.shape[0] - covered :] = arr[arr.shape[0] - covered :] - clean
+            # The inner AE's max-pool needs at least 2 lagged columns
+            # (K=1 would pool to width 0); until then the stream is
+            # still warming up and keeps zero evidence.
+            if len(self._lagged) >= 2:
+                lagged = self._lagged.matrix
+                recon = det._inner(nn.Tensor(matrix_to_tensor(lagged))).data
+                clean = deembed_lagged(hankelize(tensor_to_matrix(recon)))
+                # The embedding needs B observations before its first
+                # column; observations before that keep zero evidence.
+                covered = clean.shape[0]
+                residual[arr.shape[0] - covered :] = arr[arr.shape[0] - covered :] - clean
         outlier = _prox(residual, lam, det.prox)
         return (outlier**2).sum(axis=1) + 1e-9 * (residual**2).sum(axis=1)
 
@@ -212,12 +257,43 @@ def batched_score_new(detector, series_batch):
     if kind == "rdae_matrix":
         return np.stack([detector.score_new(series) for series in batch])
     scaled = detector._apply_scaler(batch)           # scaler broadcasts (1, D)
-    tensor = np.ascontiguousarray(scaled.transpose(0, 2, 1))  # (M, D, C)
-    module = detector.model_ if kind == "rae" else detector._f2
-    lam = detector.lam if kind == "rae" else detector.lam2
-    with nn.no_grad():
-        recon = module(nn.Tensor(tensor)).data
-    clean = recon.transpose(0, 2, 1)                 # (M, C, D)
-    residual = scaled - clean
-    outlier = _prox(residual, lam, detector.prox)
-    return (outlier**2).sum(axis=2) + 1e-9 * (residual**2).sum(axis=2)
+    return _forward_scaled_batch(detector, kind, scaled)
+
+
+def batched_session_scores(sessions, batch_size=32):
+    """Refresh many sessions' window scores with as few forwards as possible.
+
+    The sharded-serving drain path: after a burst of arrivals has been
+    ingested into many :class:`ScoringSession` shards (via :meth:`ingest`),
+    stale sessions that share a detector and a window shape are stacked
+    through **one** forward pass per group instead of one per shard.  Each
+    refreshed result is installed into the session's memo, so subsequent
+    ``scores()`` reads are free.  Sessions on the lagged-matrix path (whose
+    embedding geometry is per-session) and still-warming sessions fall back
+    to their solo path.
+
+    Returns the list of per-session window scores, in input order.
+    """
+    sessions = list(sessions)
+    batchable = []
+    for session in sessions:
+        if (
+            session._ring.total != session._cache_total
+            and session.kind != "rdae_matrix"
+            and len(session._ring) >= 2
+        ):
+            batchable.append(session)
+        else:
+            session.scores()  # solo path: memo hit, zeros, or lagged forward
+    keys = [
+        (id(session.detector), session.kind, len(session._ring))
+        for session in batchable
+    ]
+    for indices in iter_key_batches(keys, batch_size):
+        group = [batchable[i] for i in indices]
+        batch = np.stack([np.asarray(s._ring.view()) for s in group])
+        scores = _forward_scaled_batch(group[0].detector, group[0].kind, batch)
+        for row, session in enumerate(group):
+            session._cache_scores = scores[row]
+            session._cache_total = session._ring.total
+    return [session.scores() for session in sessions]

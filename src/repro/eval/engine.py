@@ -24,7 +24,14 @@ import copy
 
 import numpy as np
 
-from ..core import RAE, RDAE, batched_score_new, load_detector, save_detector
+from ..core import (
+    RAE,
+    RDAE,
+    batched_score_new,
+    iter_key_batches,
+    load_detector,
+    save_detector,
+)
 from ..metrics import pr_auc, roc_auc
 from .methods import make_detector
 
@@ -82,7 +89,7 @@ class BatchScoringEngine:
         # as-is: silently refitting it on the first scored series would
         # discard whatever state the caller trained into it.
         if isinstance(detector, (RAE, RDAE)):
-            return detector.clean_ is not None
+            return detector.is_fitted()
         return self._user_supplied
 
     def _build(self):
@@ -134,16 +141,12 @@ class BatchScoringEngine:
         if isinstance(det, (RAE, RDAE)):
             # Group same-length series and push each group through one
             # forward pass (further chunked by batch_size).
-            groups = {}
-            for i, arr in enumerate(arrays):
-                groups.setdefault(arr.shape, []).append(i)
-            for indices in groups.values():
-                for lo in range(0, len(indices), self.batch_size):
-                    chunk = indices[lo : lo + self.batch_size]
-                    batch = np.stack([arrays[i] for i in chunk])
-                    scores = batched_score_new(det, batch)
-                    for row, i in enumerate(chunk):
-                        out[i] = scores[row]
+            shapes = [arr.shape for arr in arrays]
+            for chunk in iter_key_batches(shapes, self.batch_size):
+                batch = np.stack([arrays[i] for i in chunk])
+                scores = batched_score_new(det, batch)
+                for row, i in enumerate(chunk):
+                    out[i] = scores[row]
         else:
             scorer = getattr(det, "score_new", det.score)
             for i, arr in enumerate(arrays):
@@ -162,12 +165,18 @@ class BatchScoringEngine:
             return self._warm_scores(series_list)
         return self._transductive_scores(series_list)
 
-    def evaluate(self, dataset):
+    def evaluate(self, dataset, reference=None):
         """Mean (PR-AUC, ROC-AUC) over a dataset's evaluable series.
 
         Mirrors :func:`repro.eval.evaluate_on_dataset`: series whose labels
         are single-class are skipped, and a dataset with no evaluable series
         raises ``ValueError``.
+
+        A warm engine must be fitted **before** evaluation (or be handed an
+        explicit ``reference`` series to fit on here).  ``score_many``'s
+        fit-on-first-series convenience is deliberately not applied: it
+        would train on ``dataset[0]`` and then score it, leaking the first
+        evaluated series into its own training set and inflating its AUC.
         """
         evaluable = [ts for ts in dataset
                      if 0 < ts.labels.sum() < ts.labels.size]
@@ -175,6 +184,15 @@ class BatchScoringEngine:
             raise ValueError(
                 "dataset %r has no evaluable series" % getattr(dataset, "name", dataset)
             )
+        if self.mode == "warm" and not self._fitted:
+            if reference is None:
+                raise RuntimeError(
+                    "evaluate() on an unfitted warm engine would train on the "
+                    "first evaluated series and then score it (evaluation "
+                    "leakage); call fit(reference_series) first, pass "
+                    "reference=, or use mode='transductive'"
+                )
+            self.fit(reference)
         score_rows = self.score_many(evaluable)
         prs = [pr_auc(ts.labels, scores)
                for ts, scores in zip(evaluable, score_rows)]

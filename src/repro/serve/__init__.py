@@ -1,0 +1,14 @@
+"""Sharded multi-stream serving: many live series, one scoring engine.
+
+The serving layer over the streaming subsystem: :class:`StreamRouter` keys
+one :class:`repro.stream.StreamScorer` shard per named stream, buffers
+arrivals in a bounded ingestion queue, and drains bursts as micro-batches —
+shards that share a fitted RAE/RDAE are refreshed through one grouped
+forward pass per drain (:func:`repro.core.batched_session_scores`).  The
+``repro serve`` CLI subcommand speaks a ``stream_id,value...`` line
+protocol over the same router.
+"""
+
+from .router import DrainError, QueueFullError, StreamRouter
+
+__all__ = ["StreamRouter", "QueueFullError", "DrainError"]

@@ -1,0 +1,300 @@
+"""StreamRouter: sharded multi-stream serving with batched drains.
+
+One :class:`repro.stream.StreamScorer` serves one stream.  Production
+monitoring serves fleets — thousands of independent series arriving
+interleaved and in bursts.  :class:`StreamRouter` owns many named streams
+(one scorer shard each, keyed by stream id) behind a bounded ingestion
+queue that decouples *arrival* from *scoring*:
+
+* ``submit`` / ``submit_many`` enqueue arrivals in O(1) and never run a
+  forward pass; the queue is the backpressure boundary (see ``on_full``).
+* ``drain`` pops the queued burst, ingests each stream's pending points as
+  one micro-batch, and refreshes every session-backed shard that shares a
+  fitted detector and window shape through **one** grouped forward pass
+  (:func:`repro.core.batched_session_scores`) — with ``S`` same-detector
+  shards, a drain pays ~1 forward instead of ``S``.
+
+Per-stream scores are identical (to floating-point batching tolerance) to a
+dedicated :class:`StreamScorer` fed the same chunks: the router runs the
+scorer's own staged chunk protocol, it only reorganises *when* the forward
+passes happen.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..core import batched_session_scores
+from ..stream import StreamScorer
+
+__all__ = ["StreamRouter", "QueueFullError", "DrainError"]
+
+
+class QueueFullError(RuntimeError):
+    """Raised by ``submit`` when the ingestion queue is at capacity."""
+
+
+class DrainError(RuntimeError):
+    """Raised by ``drain`` when one or more shards failed to ingest.
+
+    A faulty shard (most commonly an unfitted detector) must not destroy
+    the burst: healthy streams are scored normally and their results are
+    attached as :attr:`results`; the failing streams' arrivals are returned
+    to the front of the queue and their exceptions collected in
+    :attr:`failures` (``{stream_id: exception}``).
+    """
+
+    def __init__(self, message, results, failures):
+        super().__init__(message)
+        self.results = results
+        self.failures = failures
+
+
+class StreamRouter:
+    """Route named streams to scorer shards; score bursts as micro-batches.
+
+    Parameters
+    ----------
+    detector: default detector for shards created on first sight of a new
+        stream id (and by ``add_stream`` calls that pass none).  Sharing one
+        fitted RAE/RDAE across shards is what lets a drain group their
+        forward passes; per-stream detectors are allowed but score solo.
+    window / min_points / mode: per-shard :class:`StreamScorer` defaults,
+        overridable per stream in :meth:`add_stream`.
+    queue_limit: bound on queued-but-unscored arrivals across all streams.
+    on_full: backpressure policy when the queue is at capacity:
+        ``'error'`` (default) raises :class:`QueueFullError` — the caller
+        must drain; ``'drop_oldest'`` evicts the oldest queued arrival to
+        make room and counts it against its stream's ``dropped`` stat.
+    batch_size: maximum shards stacked into one grouped forward per drain.
+    """
+
+    def __init__(self, detector=None, *, window=256, min_points=2,
+                 mode="auto", queue_limit=1024, batch_size=32,
+                 on_full="error"):
+        self.detector = detector
+        self.window = int(window)
+        self.min_points = int(min_points)
+        self.mode = mode
+        self.queue_limit = int(queue_limit)
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        if on_full not in ("error", "drop_oldest"):
+            raise ValueError(
+                "on_full must be 'error' or 'drop_oldest', got %r" % on_full
+            )
+        self.on_full = on_full
+        self.batch_size = max(int(batch_size), 1)
+        self._shards = {}
+        self._dims = {}  # per-stream row width, fixed by the first arrival
+        self._queue = deque()
+        self._submitted = {}
+        self._scored = {}
+        self._dropped = {}
+        self._drains = 0
+
+    # ------------------------------------------------------------------ #
+    # stream management
+    def add_stream(self, stream_id, detector=None, *, window=None,
+                   min_points=None, mode=None):
+        """Create a shard for ``stream_id``; returns its scorer."""
+        if stream_id in self._shards:
+            raise ValueError("stream %r already exists" % (stream_id,))
+        detector = detector if detector is not None else self.detector
+        if detector is None:
+            raise ValueError(
+                "no detector for stream %r: pass one here or give the "
+                "router a default" % (stream_id,)
+            )
+        scorer = StreamScorer(
+            detector,
+            window=self.window if window is None else window,
+            min_points=self.min_points if min_points is None else min_points,
+            mode=self.mode if mode is None else mode,
+        )
+        self._shards[stream_id] = scorer
+        self._submitted.setdefault(stream_id, 0)
+        self._scored.setdefault(stream_id, 0)
+        self._dropped.setdefault(stream_id, 0)
+        return scorer
+
+    def stream(self, stream_id):
+        """The shard scorer serving ``stream_id``."""
+        return self._shards[stream_id]
+
+    def streams(self):
+        """Stream ids currently served, in creation order."""
+        return list(self._shards)
+
+    def __contains__(self, stream_id):
+        return stream_id in self._shards
+
+    def __len__(self):
+        return len(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    def _ensure_stream(self, stream_id):
+        if stream_id not in self._shards:
+            if self.detector is None:
+                raise KeyError(
+                    "unknown stream %r and the router has no default "
+                    "detector; add_stream() it first" % (stream_id,)
+                )
+            self.add_stream(stream_id)
+
+    def _check_dims(self, stream_id, width):
+        # Validate at submission, not at drain: a malformed arrival must be
+        # rejected here, never poison a whole drained burst.
+        expected = self._dims.get(stream_id)
+        if expected is None:
+            scorer = self._shards[stream_id]
+            if scorer._session is not None:
+                expected = scorer._session.dims
+            elif scorer._ring is not None:
+                expected = scorer._ring.dims
+        if expected is not None and width != expected:
+            raise ValueError(
+                "stream %r expects %d-dimensional observations, got %d"
+                % (stream_id, expected, width)
+            )
+        self._dims[stream_id] = width
+
+    def _enqueue(self, stream_id, row):
+        if len(self._queue) >= self.queue_limit:
+            if self.on_full == "error":
+                raise QueueFullError(
+                    "ingestion queue full (%d queued arrivals); drain() the "
+                    "router or raise queue_limit" % len(self._queue)
+                )
+            old_sid, __ = self._queue.popleft()
+            self._dropped[old_sid] += 1
+        self._queue.append((stream_id, row))
+        self._submitted[stream_id] += 1
+
+    def submit(self, stream_id, point):
+        """Enqueue one arrival for ``stream_id``; O(1), never scores."""
+        self._ensure_stream(stream_id)
+        row = np.asarray(point, dtype=np.float64).reshape(-1)
+        self._check_dims(stream_id, row.shape[0])
+        self._enqueue(stream_id, row)
+        return self
+
+    def submit_many(self, stream_id, points):
+        """Enqueue every row of a ``(n, dims)`` (or ``(n,)``) chunk."""
+        self._ensure_stream(stream_id)
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.shape[0]:
+            self._check_dims(stream_id, arr.shape[1])
+        for row in arr:
+            self._enqueue(stream_id, row)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    def drain(self, max_points=None):
+        """Score queued arrivals; returns ``{stream_id: scores}``.
+
+        Pops up to ``max_points`` arrivals (all by default) in FIFO order,
+        ingests each stream's pending points as one micro-batch, then
+        refreshes all session-backed shards in grouped forward passes.
+        Scores arrive in per-stream submission order; streams appear in
+        first-arrival order of this drain.
+
+        A shard that fails to ingest (e.g. an unfitted detector) never
+        destroys the burst: the other streams are scored normally, the
+        faulty streams' arrivals return to the front of the queue, and a
+        :class:`DrainError` carrying both the healthy results and the
+        per-stream failures is raised.
+        """
+        count = len(self._queue)
+        if max_points is not None:
+            count = min(count, max(int(max_points), 0))
+        if not count:
+            return {}
+        chunks = {}
+        for __ in range(count):
+            stream_id, row = self._queue.popleft()
+            chunks.setdefault(stream_id, []).append(row)
+        results = {}
+        failures = {}
+        deferred = []  # session shards: refresh them in grouped forwards
+        for stream_id, rows in chunks.items():
+            scorer = self._shards[stream_id]
+            try:
+                n, needs_scores = scorer._ingest_chunk(np.stack(rows))
+            except Exception as exc:  # noqa: BLE001 - isolate faulty shards
+                for row in reversed(rows):
+                    self._queue.appendleft((stream_id, row))
+                failures[stream_id] = exc
+                continue
+            if not needs_scores:
+                results[stream_id] = np.zeros(n)
+            elif scorer._session is not None:
+                deferred.append((stream_id, scorer, n))
+            else:
+                results[stream_id] = scorer._collect_chunk(
+                    n, scorer._window_scores()
+                )
+        if deferred:
+            batched_session_scores(
+                [scorer._session for __, scorer, __n in deferred],
+                batch_size=self.batch_size,
+            )
+            for stream_id, scorer, n in deferred:
+                results[stream_id] = scorer._collect_chunk(
+                    n, scorer._session.scores()
+                )
+        for stream_id, scores in results.items():
+            self._scored[stream_id] += scores.shape[0]
+        self._drains += 1
+        if failures:
+            raise DrainError(
+                "%d stream(s) failed to ingest (%s); their arrivals were "
+                "re-queued, %d healthy stream(s) scored (see .results)"
+                % (len(failures),
+                   ", ".join("%r: %s" % (sid, exc)
+                             for sid, exc in failures.items()),
+                   len(results)),
+                results, failures,
+            )
+        return results
+
+    # ------------------------------------------------------------------ #
+    # observability
+    def stream_stats(self, stream_id):
+        """Counters for one stream: submitted/scored/dropped/lag/total."""
+        scorer = self._shards[stream_id]
+        submitted = self._submitted[stream_id]
+        scored = self._scored[stream_id]
+        dropped = self._dropped[stream_id]
+        return {
+            "submitted": submitted,
+            "scored": scored,
+            "dropped": dropped,
+            # Arrivals accepted but not yet scored — the stream's queue lag.
+            "lag": submitted - scored - dropped,
+            "total": scorer.total,
+            "window_fill": len(scorer),
+            "mode": scorer.mode,
+        }
+
+    def stats(self):
+        """Router-level stats plus a per-stream breakdown."""
+        return {
+            "streams": len(self._shards),
+            "queue_depth": len(self._queue),
+            "queue_limit": self.queue_limit,
+            "drains": self._drains,
+            "submitted": sum(self._submitted.values()),
+            "scored": sum(self._scored.values()),
+            "dropped": sum(self._dropped.values()),
+            "per_stream": {
+                stream_id: self.stream_stats(stream_id)
+                for stream_id in self._shards
+            },
+        }

@@ -5,7 +5,8 @@ engine: :class:`RingBuffer` holds the live window with copy-free views,
 :class:`StreamScorer` scores each arrival in work bounded by the window size
 (backed by :class:`repro.core.ScoringSession` for the RAE/RDAE warm paths),
 and :class:`repro.eval.BatchScoringEngine` amortises model setup across many
-series.
+series.  For serving many concurrent streams behind one ingestion queue,
+see :class:`repro.serve.StreamRouter`.
 """
 
 from .ring import RingBuffer

@@ -38,8 +38,14 @@ class StreamScorer:
     detector: a fitted detector (or, for ``refit`` mode, a configured one —
         the clone is refitted on the window anyway).
     window: sliding-window capacity; per-arrival work is bounded by it.
-    min_points: arrivals before scoring starts; earlier points score 0.0
-        (no anomaly evidence yet).
+    min_points: total arrivals (including :meth:`seed` history) required
+        before scoring starts; chunks ingested wholly before that threshold
+        score 0.0 (no anomaly evidence yet) and run **no** forward pass.
+        The threshold is counted on :attr:`total`, never on the retained
+        window size, so both scoring paths agree even when ``min_points``
+        exceeds the window.  The chunk that crosses the threshold scores
+        all of its retained points — chunked ingestion gives early points
+        more context, exactly as documented for :meth:`push_many`.
     mode: ``'auto'`` (default), ``'score_new'``, ``'score'``, or ``'refit'``.
         ``'auto'`` picks ``score_new`` when the detector defines it, the
         refit protocol for known transductive-only detectors, and ``score``
@@ -105,23 +111,55 @@ class StreamScorer:
         intended idiom for seeding a scorer with history — keep live
         chunks at or below the window size to score every arrival.
         """
+        n, needs_scores = self._ingest_chunk(points)
+        if not needs_scores:
+            return np.zeros(n)
+        return self._collect_chunk(n, self._current_window_scores())
+
+    # -- staged chunk protocol (shared with repro.serve.StreamRouter) ---- #
+    #
+    # push_many = _ingest_chunk -> _current_window_scores -> _collect_chunk.
+    # The router runs the same three stages, but interleaves many shards
+    # between ingest and collect so that session-backed shards can refresh
+    # their window scores through one grouped forward pass
+    # (repro.core.batched_session_scores) instead of one pass per shard.
+
+    def _ingest_chunk(self, points):
+        """Ingest a chunk; return ``(n, needs_scores)``.
+
+        ``needs_scores`` is False for chunks wholly inside the ``min_points``
+        warmup — those are context-only and must score 0.0 without paying a
+        forward pass (the session path ingests incrementally, keeping the
+        lagged embedding warm; the ring path just extends).  Both paths
+        count the threshold on total arrivals, so their semantics are
+        identical.
+        """
         arr = np.asarray(points, dtype=np.float64)
         if arr.ndim == 1:
             arr = arr[:, None]
         self._ensure_state(arr.shape[1])
-        if self._session is not None:
-            if len(self._session) + arr.shape[0] < self.min_points:
-                self._session.extend(arr)
-                return np.zeros(arr.shape[0])
-            return self._session.extend(arr)
-        self._ring.extend(arr)
         n = arr.shape[0]
-        if len(self._ring) < self.min_points:
-            return np.zeros(n)
-        window_scores = self._window_scores()
+        if self._session is not None:
+            if self._session.total + n < self.min_points:
+                self._session.ingest(arr)
+                return n, False
+            self._session.ingest(arr)
+            return n, True
+        self._ring.extend(arr)
+        return n, self._ring.total >= self.min_points
+
+    def _current_window_scores(self):
+        """Scores of the retained window (memoised on the session path)."""
+        if self._session is not None:
+            return self._session.scores()
+        return self._window_scores()
+
+    def _collect_chunk(self, n, window_scores):
+        """Map window scores back to the last ``n`` ingested arrivals."""
         out = np.zeros(n)
         tail = min(n, window_scores.shape[0])
-        out[n - tail :] = window_scores[window_scores.shape[0] - tail :]
+        if tail:
+            out[n - tail :] = window_scores[window_scores.shape[0] - tail :]
         return out
 
     def seed(self, history):

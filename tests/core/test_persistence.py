@@ -53,6 +53,23 @@ def test_rdae_ablation_flags_survive(tmp_path, spiky_series):
 def test_save_requires_fit(tmp_path):
     with pytest.raises(RuntimeError):
         save_detector(RAE(), tmp_path / "x.npz")
+    with pytest.raises(RuntimeError):
+        save_detector(RDAE(), tmp_path / "x.npz")
+
+
+def test_is_fitted_is_the_single_source_of_truth(tmp_path, spiky_series):
+    """Every fitted-state consumer (engine, scoring session, persistence)
+    keys on is_fitted(); it must flip on fit() and survive a load."""
+    values, __ = spiky_series
+    for det in (RAE(max_iterations=3),
+                RDAE(window=30, max_outer=1, inner_iterations=2,
+                     series_iterations=2)):
+        assert not det.is_fitted()
+        det.fit(values)
+        assert det.is_fitted()
+        path = tmp_path / "det.npz"
+        save_detector(det, path)
+        assert load_detector(path).is_fitted()
 
 
 def test_save_rejects_other_types(tmp_path):

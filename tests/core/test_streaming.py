@@ -70,3 +70,79 @@ def test_score_new_deterministic():
     test, __ = make_stream(seed=8)
     det = RAE(max_iterations=5, seed=3).fit(train)
     assert np.allclose(det.score_new(test), det.score_new(test))
+
+
+# ------------------- grouped session refresh (serve drains) -------------- #
+
+def test_iter_key_batches_groups_and_chunks():
+    from repro.core import iter_key_batches
+
+    keys = ["a", "b", "a", "a", "b", "a"]
+    batches = list(iter_key_batches(keys, batch_size=2))
+    assert batches == [[0, 2], [3, 5], [1, 4]]
+    # Order within a group is input order; batch_size=1 degenerates cleanly.
+    assert list(iter_key_batches(keys, batch_size=10)) == [[0, 2, 3, 5], [1, 4]]
+
+
+def test_batched_session_scores_matches_solo_sessions():
+    """One grouped forward pass must reproduce each session's solo scores
+    (same-detector same-shape sessions are the sharded-serving drain)."""
+    from repro.core import ScoringSession, batched_session_scores
+
+    train, __ = make_stream(seed=9)
+    det = RAE(max_iterations=4).fit(train)
+    chunks = [make_stream(seed=20 + i, length=60, spikes=((30, 4.0),))[0]
+              for i in range(6)]
+
+    solo = []
+    for chunk in chunks:
+        session = ScoringSession(det, window=64)
+        session.ingest(chunk)
+        solo.append(session.scores().copy())
+
+    batched_sessions = []
+    for chunk in chunks:
+        session = ScoringSession(det, window=64)
+        session.ingest(chunk)
+        batched_sessions.append(session)
+    refreshed = batched_session_scores(batched_sessions, batch_size=4)
+    for got, expected in zip(refreshed, solo):
+        assert np.allclose(got, expected)
+    # The refresh installed the memo: scores() reads are now free.
+    for session in batched_sessions:
+        assert session.scores() is not None
+        assert session._cache_total == session.total
+
+
+def test_batched_session_scores_mixed_shapes_and_warmup():
+    """Different window fills group separately; still-warming sessions and
+    lagged-matrix sessions fall back to their solo paths."""
+    from repro.core import ScoringSession, batched_session_scores
+
+    train, __ = make_stream(seed=10)
+    rae = RAE(max_iterations=4).fit(train)
+    rdae = RDAE(window=20, max_outer=1, inner_iterations=2,
+                series_iterations=2, use_f2=False).fit(train)
+
+    full = ScoringSession(rae, window=32)
+    full.ingest(make_stream(seed=30, length=50, spikes=())[0])
+    short = ScoringSession(rae, window=32)
+    short.ingest(make_stream(seed=31, length=10, spikes=())[0])
+    warming = ScoringSession(rae, window=32)
+    warming.ingest(make_stream(seed=32, length=2, spikes=())[0][:1])
+    lagged = ScoringSession(rdae, window=40)
+    lagged.ingest(make_stream(seed=33, length=40, spikes=())[0])
+
+    sessions = [full, short, warming, lagged]
+    expected = []
+    for seed, window, det, length in ((30, 32, rae, 50), (31, 32, rae, 10),
+                                      (32, 32, rae, 1), (33, 40, rdae, 40)):
+        ref = ScoringSession(det, window=window)
+        ref.ingest(make_stream(seed=seed, length=max(length, 2),
+                               spikes=())[0][:length])
+        expected.append(ref.scores().copy())
+    refreshed = batched_session_scores(sessions)
+    for got, ref in zip(refreshed, expected):
+        assert got.shape == ref.shape
+        assert np.allclose(got, ref)
+    assert refreshed[2].shape == (1,) and refreshed[2][0] == 0.0

@@ -81,6 +81,29 @@ def test_transductive_matches_evaluate_on_dataset(dataset):
     assert np.isclose(roc_engine, roc_ref)
 
 
+def test_evaluate_rejects_unfitted_warm_engine(dataset):
+    """Regression: evaluate() on an unfitted warm engine used to silently
+    train on the first evaluated series and then score it — evaluation
+    leakage.  It must fail loudly instead."""
+    engine = BatchScoringEngine(
+        method="RAE", overrides={"max_iterations": 3}, mode="warm"
+    )
+    with pytest.raises(RuntimeError, match="leakage"):
+        engine.evaluate(dataset)
+    assert not engine._fitted  # nothing was trained behind the caller's back
+
+
+def test_evaluate_accepts_explicit_reference(dataset):
+    reference = make_fleet(num=1, seed=7)[0]
+    engine = BatchScoringEngine(method="EMA", mode="warm")
+    pr, roc = engine.evaluate(dataset, reference=reference)
+    assert np.isfinite(pr) and np.isfinite(roc)
+    assert engine._fitted
+    # A fitted warm engine evaluates without needing a reference.
+    pr_again, __ = engine.evaluate(dataset)
+    assert np.isclose(pr_again, pr)
+
+
 def test_evaluate_rejects_unevaluable_dataset(dataset):
     class AllClean:
         name = "clean"

@@ -190,6 +190,60 @@ def test_session_rdae_matrix_path_incremental_consistency():
     assert np.allclose(session.scores(), det.score_new(series))
 
 
+def test_min_points_agrees_across_paths_and_chunkings(fitted_rae):
+    """Regression: the session path keyed its warmup threshold on the
+    window-capped session size plus the incoming chunk while the ring path
+    keyed on the window-capped ring size, so with min_points above the
+    window the ring path zeroed forever while the session path scored (and
+    whether it scored depended on the chunk size).  Both paths now count
+    total arrivals: the first min_points-1 arrivals are the warmup, the
+    chunk containing arrival #min_points scores its retained points."""
+    series = make_series(17, length=20)
+    ring_det = LOF(n_neighbors=3).fit(series)
+    for detector in (fitted_rae, ring_det):
+        point_wise = StreamScorer(detector, window=4, min_points=8)
+        chunked = StreamScorer(detector, window=4, min_points=8)
+        out_points = np.array([point_wise.push(x) for x in series])
+        out_chunks = np.concatenate([chunked.push_many(series[:3]),
+                                     chunked.push_many(series[3:6]),
+                                     chunked.push_many(series[6:])])
+        # Warmup arrivals score 0.0 regardless of path or chunking.
+        assert np.allclose(out_points[:7], 0.0)
+        assert np.allclose(out_chunks[:7], 0.0)
+        # Scoring starts at arrival #min_points in both paths, even though
+        # min_points exceeds the window capacity.
+        assert np.all(out_points[7:] != 0.0)
+        assert np.all(out_chunks[-4:] != 0.0)  # the final chunk's window
+
+
+def test_warmup_chunks_run_no_forward_pass(fitted_rae):
+    """Regression: warmup chunks on the session path used to pay a full
+    forward pass whose scores were discarded; they must now only seed."""
+    scorer = StreamScorer(fitted_rae, window=32, min_points=10)
+    scorer.push_many(make_series(18, length=4))
+    scorer.push_many(make_series(18, length=4))
+    assert scorer._session._cache_total == -1  # no forward ever ran
+    assert scorer.total == 8
+    out = scorer.push_many(make_series(18, length=4))  # crosses: scores now
+    assert scorer._session._cache_total == scorer._session.total
+    assert np.all(out != 0.0)
+
+
+def test_session_rdae_matrix_matches_one_shot_once_ring_full():
+    """The documented lag-clamp caveat, pinned: the matrix path fixes its
+    lag from the window *capacity*, so once the ring holds a full window
+    the session scores equal one-shot score_new of the retained window."""
+    series = make_series(19, length=200)
+    det = RDAE(window=20, max_outer=1, inner_iterations=2,
+               series_iterations=2, use_f2=False).fit(series)
+    window = 80
+    session = ScoringSession(det, window=window)
+    for point in series:
+        session.push(point)
+    assert len(session) == window
+    assert np.allclose(session.scores(), det.score_new(series[-window:]))
+
+
 def test_session_caches_forward_between_reads(fitted_rae):
     session = ScoringSession(fitted_rae, window=64)
     session.extend(make_series(11, length=64))

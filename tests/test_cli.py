@@ -172,3 +172,106 @@ def test_stream_from_saved_model(streaming_csv, tmp_path, capsys):
     assert code == 0
     lines = capsys.readouterr().out.splitlines()
     assert len(lines) == 240  # no training head: every point is streamed
+
+
+# --------------------------- repro serve -------------------------------- #
+
+@pytest.fixture
+def serve_setup(tmp_path):
+    """A saved RAE plus an interleaved 3-stream feed with one incident."""
+    from repro.core import RAE, save_detector
+
+    rng = np.random.default_rng(3)
+    t = np.arange(200)
+    train = (np.sin(2 * np.pi * t / 24) + 0.05 * rng.standard_normal(200))
+    model_path = tmp_path / "rae.npz"
+    save_detector(RAE(max_iterations=4).fit(train[:, None]), model_path)
+
+    feed_path = tmp_path / "feed.csv"
+    per_stream = 60
+    with open(feed_path, "w") as handle:
+        handle.write("stream,value\n")
+        for i in range(per_stream):
+            for sid in ("web", "db", "cache"):
+                value = float(np.sin(i / 4.0) + 0.05 * rng.standard_normal())
+                if sid == "db" and i == 45:
+                    value += 8.0  # the incident
+                handle.write("%s,%.6f\n" % (sid, value))
+    return model_path, feed_path, per_stream
+
+
+def test_serve_multiplexes_streams(serve_setup, capsys):
+    model_path, feed_path, per_stream = serve_setup
+    code = main([
+        "serve", "--input", str(feed_path), "--model", str(model_path),
+        "--window", "32", "--drain-every", "16",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    rows = [line.split(",") for line in captured.out.splitlines()]
+    assert len(rows) == 3 * per_stream  # every submitted point was scored
+    by_stream = {}
+    for sid, index, score in rows:
+        by_stream.setdefault(sid, []).append((int(index), float(score)))
+    assert sorted(by_stream) == ["cache", "db", "web"]
+    for sid, pairs in by_stream.items():
+        # Per-stream indices are contiguous and scores finite.
+        assert [i for i, __ in pairs] == list(range(per_stream))
+        assert np.isfinite([s for __, s in pairs]).all()
+    # The planted incident dominates its own stream.
+    db_scores = [s for __, s in by_stream["db"]]
+    assert int(np.argmax(db_scores)) == 45
+    assert "served 3 streams: 180 scored" in captured.err
+
+
+def test_serve_writes_output_csv(serve_setup, tmp_path, capsys):
+    model_path, feed_path, per_stream = serve_setup
+    out_path = tmp_path / "scores.csv"
+    code = main([
+        "serve", "--input", str(feed_path), "--model", str(model_path),
+        "--window", "32", "--output", str(out_path),
+    ])
+    assert code == 0
+    content = out_path.read_text().splitlines()
+    assert content[0] == "stream,index,score"
+    assert len(content) == 1 + 3 * per_stream
+
+
+def test_serve_stdin_with_trained_head(serve_setup, tmp_path, capsys,
+                                       monkeypatch):
+    __, feed_path, per_stream = serve_setup
+    from repro.cli import read_series_csv
+
+    train_path = tmp_path / "train.csv"
+    rng = np.random.default_rng(5)
+    with open(train_path, "w") as handle:
+        handle.write("value\n")
+        for i in range(150):
+            handle.write("%.6f\n"
+                         % (np.sin(i / 4.0) + 0.05 * rng.standard_normal()))
+    with open(feed_path) as handle:
+        monkeypatch.setattr("sys.stdin", handle)
+        code = main([
+            "serve", "--input", "-", "--method", "EMA",
+            "--train-input", str(train_path), "--window", "32",
+        ])
+    assert code == 0
+    assert len(capsys.readouterr().out.splitlines()) == 3 * per_stream
+
+
+def test_serve_queue_limit_below_drain_every(serve_setup, capsys):
+    """Regression: drain-every above the queue limit used to crash with an
+    unhandled QueueFullError before the first drain; it is clamped now."""
+    model_path, feed_path, per_stream = serve_setup
+    code = main([
+        "serve", "--input", str(feed_path), "--model", str(model_path),
+        "--window", "32", "--queue-limit", "8", "--drain-every", "64",
+    ])
+    assert code == 0
+    assert len(capsys.readouterr().out.splitlines()) == 3 * per_stream
+
+
+def test_serve_requires_a_detector_source(serve_setup):
+    __, feed_path, __n = serve_setup
+    with pytest.raises(SystemExit, match="--model or --train-input"):
+        main(["serve", "--input", str(feed_path)])
