@@ -3,6 +3,11 @@ Outlier Detection (Kieu et al., ICDE 2022) — a full reproduction.
 
 Public API highlights
 ---------------------
+* :mod:`repro.api` — the spec-driven construction surface:
+  :class:`repro.api.DetectorSpec` / :class:`repro.api.PipelineSpec` (the
+  whole protocol as JSON-round-trippable data) and the
+  :class:`repro.api.Pipeline` facade (``fit/score/fit_score/detect/
+  explain``, declared ``capabilities()``, ``save``/``load``).
 * :class:`repro.core.RAE` / :class:`repro.core.RDAE` — the paper's methods.
 * :mod:`repro.baselines` — the 15 comparison methods plus RSSA.
 * :mod:`repro.explain` — post-hoc explainability scores (ES_PRM, ES_SSA).
@@ -39,6 +44,7 @@ package also serves continuous traffic:
 """
 
 from . import (
+    api,
     baselines,
     core,
     datasets,
@@ -52,6 +58,7 @@ from . import (
     tsops,
     viz,
 )
+from .api import DetectorSpec, Pipeline, PipelineSpec
 from .core import NRAE, NRDAE, RAE, RDAE
 
 __version__ = "1.0.0"
@@ -61,6 +68,10 @@ __all__ = [
     "RDAE",
     "NRAE",
     "NRDAE",
+    "api",
+    "DetectorSpec",
+    "PipelineSpec",
+    "Pipeline",
     "nn",
     "rpca",
     "serve",

@@ -1,0 +1,45 @@
+"""Spec-driven pipeline API: one construction/persistence/capability surface.
+
+Every way of obtaining a scorer in this package now funnels through here:
+
+* :class:`DetectorSpec` — method name + params, JSON round-trippable,
+  validated against the :mod:`repro.eval.methods` registry.
+* :class:`PipelineSpec` — the paper's whole protocol as data
+  (preprocess -> detector -> threshold -> explain stages).
+* :class:`Pipeline` — the runnable facade (``fit`` / ``score`` /
+  ``fit_score`` / ``detect`` / ``explain``) with a declared
+  :func:`capabilities` set and ``save``/``load`` persistence.
+* :func:`as_detector` — the one coercion consumers
+  (:class:`repro.stream.StreamScorer`, :class:`repro.eval.BatchScoringEngine`,
+  :class:`repro.serve.StreamRouter`) use to accept specs anywhere a
+  detector instance is accepted.
+
+``repro.eval.make_detector`` remains as a thin shim over
+``DetectorSpec.build()``, so the evaluation protocol and existing call
+sites migrate without churn.
+"""
+
+from .pipeline import CAPABILITIES, CapabilityError, Pipeline, capabilities
+from .spec import (
+    PREPROCESS_KINDS,
+    THRESHOLD_KINDS,
+    DetectorSpec,
+    PipelineSpec,
+    SpecError,
+    as_detector,
+    read_spec,
+)
+
+__all__ = [
+    "DetectorSpec",
+    "PipelineSpec",
+    "Pipeline",
+    "SpecError",
+    "CapabilityError",
+    "capabilities",
+    "CAPABILITIES",
+    "as_detector",
+    "read_spec",
+    "THRESHOLD_KINDS",
+    "PREPROCESS_KINDS",
+]

@@ -1,0 +1,261 @@
+"""The Pipeline facade: one runnable object for the whole protocol.
+
+``Pipeline`` executes a :class:`repro.api.PipelineSpec` — preprocess ->
+detector -> threshold -> explain — behind the estimator verbs ``fit`` /
+``score`` / ``fit_score`` / ``detect`` / ``explain``, and exposes the
+declared capability surface (:func:`capabilities`) that replaces the
+scattered ``transductive_only`` / ``is_fitted`` probing the consumers used
+to do.  ``to_spec()`` projects the live (possibly reconfigured) pipeline
+back to data, and ``save``/``load`` round-trip it through
+:mod:`repro.core.persistence` — spec sidecar plus weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.base import CAPABILITIES, as_series, detector_capabilities
+from ..metrics.thresholds import (
+    apply_threshold,
+    mad_threshold,
+    pot_threshold,
+    quantile_threshold,
+)
+from ..tsops import standardize
+from .spec import DetectorSpec, PipelineSpec, SpecError
+
+__all__ = ["Pipeline", "CapabilityError", "capabilities", "CAPABILITIES"]
+
+_THRESHOLD_FNS = {
+    "quantile": quantile_threshold,
+    "mad": mad_threshold,
+    "pot": pot_threshold,
+}
+
+#: Threshold stage used when a spec declares none.
+_DEFAULT_THRESHOLD = {"kind": "quantile", "q": 0.99}
+
+
+class CapabilityError(RuntimeError):
+    """An operation was requested that the detector does not declare."""
+
+
+def capabilities(obj):
+    """Declared capability set of a detector, spec, or pipeline.
+
+    Returns a frozenset drawn from :data:`repro.baselines.CAPABILITIES`
+    (``streamable``, ``warm_startable``, ``transductive``, ``explainable``).
+    Specs are resolved through a throwaway default build; pipelines and
+    detectors answer for themselves.
+    """
+    own = getattr(obj, "capabilities", None)
+    if callable(own):
+        return own()
+    if isinstance(obj, PipelineSpec):
+        obj = obj.detector
+    if isinstance(obj, DetectorSpec):
+        return detector_capabilities(obj.build())
+    return detector_capabilities(obj)
+
+
+def _apply_preprocess(stages, series):
+    arr = as_series(series)
+    for stage in stages:
+        kind = stage["kind"]
+        if kind == "standardize":
+            arr = standardize(arr)
+        elif kind == "clip":
+            arr = np.clip(arr, stage.get("lo"), stage.get("hi"))
+        else:  # pragma: no cover - validate() rejects unknown kinds
+            raise SpecError("unknown preprocess kind %r" % kind)
+    return arr
+
+
+class Pipeline:
+    """Runnable preprocess -> detector -> threshold -> explain pipeline.
+
+    Parameters
+    ----------
+    spec: a :class:`PipelineSpec`, :class:`DetectorSpec`, spec-shaped dict,
+        or registry method name describing how to build the pipeline.
+    detector: optionally, an already-constructed (possibly fitted) detector
+        instance to run instead of building one from ``spec``'s detector
+        stage — the persistence loader uses this to attach restored
+        weights.  When only ``detector`` is given, the spec is projected
+        from it.
+    """
+
+    def __init__(self, spec=None, *, detector=None):
+        if spec is None and detector is None:
+            raise SpecError("pass a spec, a detector, or both")
+        if spec is None:
+            spec = PipelineSpec(DetectorSpec.from_detector(detector))
+        elif isinstance(spec, dict):
+            spec = PipelineSpec.from_dict(spec)
+        elif isinstance(spec, (str, DetectorSpec)):
+            spec = PipelineSpec(spec)
+        elif not isinstance(spec, PipelineSpec):
+            raise SpecError("spec must be a PipelineSpec/DetectorSpec/dict/"
+                            "method name, got %r" % (spec,))
+        spec.validate()
+        self.spec = spec
+        self.detector = detector if detector is not None else spec.detector.build()
+        # A supplied instance is trusted as-is (its fitted state — or lack
+        # of it — is the caller's); silently refitting it in detect()
+        # would discard whatever the caller trained into it.  Detectors
+        # with their own is_fitted() stay authoritative either way.
+        self._fitted = detector is not None
+
+    # ------------------------------------------------------------------ #
+    # construction round-trip
+    @classmethod
+    def from_spec(cls, spec):
+        """Build from any spec shape (the inverse of :meth:`to_spec`)."""
+        return cls(spec)
+
+    def to_spec(self):
+        """Project the live pipeline back to a :class:`PipelineSpec`.
+
+        The detector stage is re-derived from the *live* detector instance,
+        so parameters changed after construction are captured.
+        """
+        return PipelineSpec(
+            DetectorSpec.from_detector(self.detector),
+            preprocess=self.spec.preprocess,
+            threshold=self.spec.threshold,
+            explain=self.spec.explain,
+        )
+
+    def capabilities(self):
+        """Declared capability set of the underlying detector."""
+        return detector_capabilities(self.detector)
+
+    def is_fitted(self):
+        """Whether :meth:`fit` (or a persistence load) has completed."""
+        fitted = getattr(self.detector, "is_fitted", None)
+        if callable(fitted):
+            return bool(fitted())
+        return self._fitted
+
+    def _require(self, capability, what):
+        if capability not in self.capabilities():
+            raise CapabilityError(
+                "%s needs the %r capability, but %s declares only {%s}"
+                % (what, capability, type(self.detector).__name__,
+                   ", ".join(sorted(self.capabilities())))
+            )
+
+    # ------------------------------------------------------------------ #
+    # estimator verbs
+    def preprocess(self, series):
+        """The preprocess stages applied to ``series`` (a ``(C, D)`` array)."""
+        return _apply_preprocess(self.spec.preprocess, series)
+
+    def fit(self, series):
+        """Fit the detector on the preprocessed series; returns ``self``."""
+        self.detector.fit(self.preprocess(series))
+        self._fitted = True
+        return self
+
+    def score(self, series):
+        """Per-observation outlier scores from the fitted detector.
+
+        ``warm_startable`` detectors score the passed series through their
+        trained state (``score_new`` — the serving path); ``transductive``
+        detectors return the fit-time scores (their ``score`` ignores the
+        argument by contract); everything else scores the passed series
+        with plain ``score``.
+        """
+        if not self.is_fitted():
+            raise RuntimeError("fit the pipeline before scoring")
+        arr = self.preprocess(series)
+        if "warm_startable" in self.capabilities():
+            return self.detector.score_new(arr)
+        return self.detector.score(arr)
+
+    def fit_score(self, series):
+        """Fit and score the same series (the paper's transductive protocol)."""
+        arr = self.preprocess(series)
+        scores = self.detector.fit_score(arr)
+        self._fitted = True
+        return scores
+
+    def threshold(self, scores):
+        """The spec's threshold stage evaluated on ``scores`` (a float)."""
+        stage = dict(self.spec.threshold or _DEFAULT_THRESHOLD)
+        fn = _THRESHOLD_FNS[stage.pop("kind")]
+        return float(fn(np.asarray(scores, dtype=np.float64), **stage))
+
+    def detect(self, series=None, *, scores=None):
+        """Scores -> threshold -> binary labels, as one call.
+
+        Pass a series (scored via :meth:`fit_score` when the pipeline is
+        unfitted, :meth:`score` when it is), or precomputed ``scores``.
+        Returns ``{"scores", "threshold", "labels"}``.
+        """
+        if (series is None) == (scores is None):
+            raise ValueError("pass exactly one of series or scores=")
+        if scores is None:
+            scores = self.score(series) if self.is_fitted() else self.fit_score(series)
+        scores = np.asarray(scores, dtype=np.float64)
+        threshold = self.threshold(scores)
+        return {
+            "scores": scores,
+            "threshold": threshold,
+            "labels": apply_threshold(scores, threshold),
+        }
+
+    def explain(self, indices=None):
+        """Channel attribution of the fitted decomposition.
+
+        Requires the ``explainable`` capability (a detector exposing the
+        decomposed outlier series ``T_S``).  Returns per-observation
+        ``contributions`` ``(C, D)`` and ``dominant_channels`` ``(C,)``
+        (optionally restricted to ``indices``).
+        """
+        from ..explain import channel_contributions, dominant_channels
+
+        self._require("explainable", "explain()")
+        if not self.is_fitted():
+            raise RuntimeError("fit the pipeline before explaining")
+        outlier_series = self.detector.outlier_series
+        if indices is not None:
+            selector = np.asarray(indices)
+            if (selector.size and selector.dtype != bool
+                    and int(selector.max()) >= outlier_series.shape[0]):
+                raise ValueError(
+                    "index %d is outside the fitted decomposition (length "
+                    "%d): explain() attributes the series the detector was "
+                    "FITTED on, not a later warm-scored one — refit on the "
+                    "series you want explained"
+                    % (int(selector.max()), outlier_series.shape[0])
+                )
+        options = self.spec.explain or {}
+        return {
+            "outlier_series": outlier_series,
+            "contributions": channel_contributions(
+                outlier_series, normalize=bool(options.get("normalize", True))
+            ),
+            "dominant_channels": dominant_channels(outlier_series, indices),
+        }
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    def save(self, path):
+        """Spec sidecar + weights via :func:`repro.core.save_pipeline`."""
+        from ..core.persistence import save_pipeline
+
+        return save_pipeline(self, path)
+
+    @classmethod
+    def load(cls, path):
+        """Rebuild a saved pipeline via :func:`repro.core.load_pipeline`."""
+        from ..core.persistence import load_pipeline
+
+        return load_pipeline(path)
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self):
+        return "Pipeline(%r, fitted=%r, capabilities={%s})" % (
+            self.spec, self.is_fitted(), ", ".join(sorted(self.capabilities()))
+        )

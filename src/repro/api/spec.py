@@ -1,0 +1,412 @@
+"""Declarative construction specs for detectors and pipelines.
+
+The paper's protocol (fit -> score -> threshold -> explain, Section V-A)
+used to be assembled ad hoc at every entry point: the registry factory, raw
+class constructors, weights-only persistence, and per-subcommand argparse
+plumbing each re-encoded "which method, with which parameters".  A spec is
+the single JSON-serializable description of that assembly:
+
+* :class:`DetectorSpec` — a registry method name plus constructor
+  parameters, validated against :data:`repro.eval.methods.METHODS` and the
+  method's constructor signature (of which the Section V-A search spaces
+  are a subset).
+* :class:`PipelineSpec` — the full protocol: preprocess stages, a detector
+  spec, a threshold stage (:mod:`repro.metrics.thresholds`), and an explain
+  stage (:mod:`repro.explain`).
+
+Both round-trip losslessly through ``to_dict``/``from_dict`` (and JSON),
+and every fitted detector can be projected back to a spec with
+:meth:`DetectorSpec.from_detector` — which is what lets persistence and the
+serving layer save *how a scorer was built*, not just its weights.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+
+import numpy as np
+
+from ..eval.methods import METHODS, SEARCH_SPACES, UnknownMethodError
+
+__all__ = [
+    "SpecError",
+    "DetectorSpec",
+    "PipelineSpec",
+    "read_spec",
+    "as_detector",
+]
+
+#: Threshold stages a PipelineSpec may name, with their legal parameters
+#: (the keyword arguments of the matching repro.metrics.thresholds
+#: estimator).
+THRESHOLD_KINDS = {
+    "quantile": ("q",),
+    "mad": ("k",),
+    "pot": ("risk", "tail_fraction", "trim"),
+}
+
+#: Preprocess stages a PipelineSpec may name (applied in list order).
+PREPROCESS_KINDS = {
+    "standardize": (),
+    "clip": ("lo", "hi"),
+}
+
+
+class SpecError(ValueError):
+    """Raised when a spec does not describe a buildable configuration."""
+
+
+def _jsonable(value, where):
+    """Coerce ``value`` to a JSON-representable equivalent or raise."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v, where) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v, where) for k, v in value.items()}
+    raise SpecError(
+        "%s: value %r (%s) is not JSON-serializable"
+        % (where, value, type(value).__name__)
+    )
+
+
+_METHOD_CLASSES = None
+_CLASS_BY_NAME = None
+_PARAMS_BY_CLASS = {}
+
+
+def _method_classes():
+    """Lazy ``{detector class: registry name}`` map (constructors are cheap:
+    they only record parameters; all training happens in ``fit``)."""
+    global _METHOD_CLASSES, _CLASS_BY_NAME
+    if _METHOD_CLASSES is None:
+        _METHOD_CLASSES = {type(factory()): name
+                           for name, factory in METHODS.items()}
+        _CLASS_BY_NAME = {name: cls for cls, name in _METHOD_CLASSES.items()}
+    return _METHOD_CLASSES
+
+
+def _class_for(name):
+    """The detector class registered under ``name``."""
+    _method_classes()
+    try:
+        return _CLASS_BY_NAME[name]
+    except KeyError:
+        raise UnknownMethodError(
+            "unknown method %r; known methods: %s" % (name, ", ".join(METHODS))
+        ) from None
+
+
+def _constructor_params(cls):
+    """Names of ``cls.__init__`` keyword parameters (excluding ``self``),
+    cached per class — validation runs on every ``build()``."""
+    if cls not in _PARAMS_BY_CLASS:
+        params = inspect.signature(cls.__init__).parameters
+        _PARAMS_BY_CLASS[cls] = {
+            name: p for name, p in params.items()
+            if name != "self"
+            and p.kind in (p.POSITIONAL_OR_KEYWORD, p.KEYWORD_ONLY)
+        }
+    return _PARAMS_BY_CLASS[cls]
+
+
+class DetectorSpec:
+    """How to build one detector: registry method name + parameters.
+
+    Parameters
+    ----------
+    method: a name from :data:`repro.eval.methods.METHODS` (the paper's
+        Tables II/III column set).
+    params: constructor overrides merged over the registry defaults.
+
+    ``build()`` is the one construction path — :func:`repro.eval.make_detector`
+    is now a thin shim over it — so anything a spec can express can also be
+    persisted, shipped to a serving shard, or rebuilt from a CLI flag.
+    """
+
+    __slots__ = ("method", "params")
+
+    def __init__(self, method, params=None, **kwargs):
+        self.method = str(method)
+        merged = dict(params or {})
+        merged.update(kwargs)
+        self.params = merged
+
+    # ------------------------------------------------------------------ #
+    def validate(self):
+        """Check the spec is buildable; returns ``self``.
+
+        Validates the method against the registry, every parameter name
+        against the method's constructor signature (the Section V-A search
+        spaces name a subset of these), and every value for JSON
+        serializability — so a validated spec is guaranteed to round-trip
+        through persistence.
+        """
+        if self.method not in METHODS:
+            raise UnknownMethodError(
+                "unknown method %r; known methods: %s"
+                % (self.method, ", ".join(METHODS))
+            )
+        allowed = _constructor_params(_class_for(self.method))
+        for name, value in self.params.items():
+            if name not in allowed:
+                raise SpecError(
+                    "%s has no parameter %r (searchable: %s; all: %s)"
+                    % (self.method, name,
+                       ", ".join(SEARCH_SPACES.get(self.method, {})) or "none",
+                       ", ".join(allowed))
+                )
+            _jsonable(value, "%s.%s" % (self.method, name))
+        return self
+
+    def build(self):
+        """Instantiate the detector (registry defaults merged with params)."""
+        self.validate()
+        return METHODS[self.method](**self.params)
+
+    def search_space(self):
+        """The method's Section V-A hyperparameter ranges (may be empty)."""
+        return dict(SEARCH_SPACES.get(self.method, {}))
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_detector(cls, detector):
+        """Project a (possibly fitted) detector back to its spec.
+
+        The detector's class must be one of the registry classes; its
+        constructor parameters are read back from the same-named public
+        attributes (the package-wide convention, cf. ``BaseDetector``).
+        Derived parameters (e.g. a ``stride`` defaulted from the window)
+        are captured at their concrete values, so ``spec.build()`` yields a
+        behaviourally identical detector.
+        """
+        name = _method_classes().get(type(detector))
+        if name is None:
+            raise SpecError(
+                "%s is not a registry detector class; known classes: %s"
+                % (type(detector).__name__,
+                   ", ".join(sorted(c.__name__ for c in _method_classes())))
+            )
+        params = {}
+        for pname, param in _constructor_params(type(detector)).items():
+            value = getattr(detector, pname, param.default)
+            if value is inspect.Parameter.empty:  # pragma: no cover
+                raise SpecError(
+                    "%s.%s is not recoverable from the instance" % (name, pname)
+                )
+            params[pname] = _jsonable(value, "%s.%s" % (name, pname))
+        return cls(name, params)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        return {"method": self.method,
+                "params": _jsonable(dict(self.params), self.method)}
+
+    @classmethod
+    def from_dict(cls, data):
+        if "method" not in data:
+            raise SpecError("detector spec needs a 'method' key, got %r" % (data,))
+        extra = set(data) - {"method", "params"}
+        if extra:
+            raise SpecError("unknown detector spec keys: %s" % ", ".join(sorted(extra)))
+        return cls(data["method"], data.get("params") or {})
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------ #
+    def _canonical(self):
+        """JSON-normal form: tuples become lists, keys sorted — two specs
+        that serialize identically ARE the same spec (and hashable even
+        with sequence-valued params)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __eq__(self, other):
+        return (isinstance(other, DetectorSpec)
+                and self._canonical() == other._canonical())
+
+    def __hash__(self):
+        return hash(self._canonical())
+
+    def __repr__(self):
+        params = ", ".join("%s=%r" % (k, v)
+                           for k, v in sorted(self.params.items()))
+        return "DetectorSpec(%r%s)" % (self.method, ", " + params if params else "")
+
+
+def _validate_stage(stage, kinds, what):
+    if not isinstance(stage, dict) or "kind" not in stage:
+        raise SpecError("%s stage must be a dict with a 'kind', got %r"
+                        % (what, stage))
+    if stage["kind"] not in kinds:
+        raise SpecError("unknown %s kind %r (choose from %s)"
+                        % (what, stage["kind"], ", ".join(kinds)))
+    allowed = kinds[stage["kind"]]
+    for key, value in stage.items():
+        if key != "kind" and key not in allowed:
+            # Same up-front contract as DetectorSpec params: a bad name
+            # must fail validation, not a TypeError deep in detect().
+            raise SpecError(
+                "%s kind %r has no parameter %r (allowed: %s)"
+                % (what, stage["kind"], key, ", ".join(allowed) or "none")
+            )
+        _jsonable(value, "%s.%s" % (what, key))
+    return stage
+
+
+class PipelineSpec:
+    """The full protocol as data: preprocess -> detector -> threshold -> explain.
+
+    Parameters
+    ----------
+    detector: a :class:`DetectorSpec`, a ``{"method": ..., "params": ...}``
+        dict, or a bare method name.
+    preprocess: list of stage dicts applied in order before the detector —
+        ``{"kind": "standardize"}`` or ``{"kind": "clip", "lo":, "hi":}``.
+    threshold: ``{"kind": "quantile"|"mad"|"pot", ...}`` with the keyword
+        arguments of the matching :mod:`repro.metrics.thresholds` function;
+        defaults to the 0.99 quantile when omitted.
+    explain: ``{"normalize": bool}`` options for the channel-attribution
+        stage (:mod:`repro.explain.channels`); only detectors with the
+        ``explainable`` capability can run it.
+    """
+
+    __slots__ = ("detector", "preprocess", "threshold", "explain")
+
+    def __init__(self, detector, preprocess=None, threshold=None, explain=None):
+        if isinstance(detector, str):
+            detector = DetectorSpec(detector)
+        elif isinstance(detector, dict):
+            detector = DetectorSpec.from_dict(detector)
+        elif not isinstance(detector, DetectorSpec):
+            raise SpecError(
+                "detector must be a DetectorSpec, dict, or method name, "
+                "got %r" % (detector,)
+            )
+        self.detector = detector
+        self.preprocess = [dict(stage) for stage in (preprocess or [])]
+        self.threshold = dict(threshold) if threshold else None
+        self.explain = dict(explain) if explain else None
+
+    # ------------------------------------------------------------------ #
+    def validate(self):
+        """Validate every stage; returns ``self``."""
+        self.detector.validate()
+        for stage in self.preprocess:
+            _validate_stage(stage, PREPROCESS_KINDS, "preprocess")
+        if self.threshold is not None:
+            _validate_stage(self.threshold, THRESHOLD_KINDS, "threshold")
+        if self.explain is not None:
+            _jsonable(self.explain, "explain")
+        return self
+
+    def build(self):
+        """Construct the runnable :class:`repro.api.Pipeline`."""
+        from .pipeline import Pipeline
+
+        return Pipeline(self)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self):
+        doc = {"detector": self.detector.to_dict()}
+        if self.preprocess:
+            doc["preprocess"] = _jsonable(self.preprocess, "preprocess")
+        if self.threshold is not None:
+            doc["threshold"] = _jsonable(self.threshold, "threshold")
+        if self.explain is not None:
+            doc["explain"] = _jsonable(self.explain, "explain")
+        return doc
+
+    @classmethod
+    def from_dict(cls, data):
+        """Accepts a full pipeline dict or a bare detector spec dict."""
+        if "detector" not in data:
+            # A DetectorSpec-shaped dict is promoted to a one-stage pipeline.
+            return cls(DetectorSpec.from_dict(data))
+        extra = set(data) - {"detector", "preprocess", "threshold", "explain"}
+        if extra:
+            raise SpecError("unknown pipeline spec keys: %s" % ", ".join(sorted(extra)))
+        return cls(
+            data["detector"],
+            preprocess=data.get("preprocess"),
+            threshold=data.get("threshold"),
+            explain=data.get("explain"),
+        )
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text):
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path):
+        """Write the spec as JSON to ``path``; returns the path."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+    # ------------------------------------------------------------------ #
+    def _canonical(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __eq__(self, other):
+        return (isinstance(other, PipelineSpec)
+                and self._canonical() == other._canonical())
+
+    def __hash__(self):
+        return hash(self._canonical())
+
+    def __repr__(self):
+        extras = []
+        if self.preprocess:
+            extras.append("preprocess=%r" % (self.preprocess,))
+        if self.threshold is not None:
+            extras.append("threshold=%r" % (self.threshold,))
+        if self.explain is not None:
+            extras.append("explain=%r" % (self.explain,))
+        return "PipelineSpec(%r%s)" % (
+            self.detector, ", " + ", ".join(extras) if extras else ""
+        )
+
+
+def read_spec(path):
+    """Load a spec JSON file (pipeline- or detector-shaped) as a PipelineSpec."""
+    return PipelineSpec.load(path).validate()
+
+
+def as_detector(obj):
+    """Coerce any construction handle into a detector instance.
+
+    Accepts a detector instance (returned unchanged), a
+    :class:`DetectorSpec`, a :class:`PipelineSpec` (its detector stage), a
+    :class:`repro.api.Pipeline` (its live detector), a spec-shaped dict, or
+    a bare registry method name.  This is the one coercion used by every
+    spec-aware consumer (:class:`repro.stream.StreamScorer`,
+    :class:`repro.eval.BatchScoringEngine`, :class:`repro.serve.StreamRouter`).
+    """
+    from .pipeline import Pipeline
+
+    if isinstance(obj, str):
+        return DetectorSpec(obj).build()
+    if isinstance(obj, dict):
+        return PipelineSpec.from_dict(obj).detector.build()
+    if isinstance(obj, DetectorSpec):
+        return obj.build()
+    if isinstance(obj, PipelineSpec):
+        return obj.detector.build()
+    if isinstance(obj, Pipeline):
+        return obj.detector
+    return obj

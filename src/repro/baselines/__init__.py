@@ -1,6 +1,12 @@
 """The paper's 15 comparison methods plus RSSA (Section V-A)."""
 
-from .base import BaseDetector, WindowedDetector, as_series
+from .base import (
+    CAPABILITIES,
+    BaseDetector,
+    WindowedDetector,
+    as_series,
+    detector_capabilities,
+)
 from .beatgan import BeatGAN
 from .cnnae import CNNAE
 from .donut import Donut
@@ -24,6 +30,8 @@ __all__ = [
     "WindowedDetector",
     "NeuralWindowDetector",
     "as_series",
+    "CAPABILITIES",
+    "detector_capabilities",
     "OneClassSVM",
     "LOF",
     "IsolationForest",

@@ -14,7 +14,53 @@ import numpy as np
 
 from ..tsops import overlap_average, sliding_windows, standardize
 
-__all__ = ["BaseDetector", "WindowedDetector", "as_series"]
+__all__ = [
+    "BaseDetector",
+    "WindowedDetector",
+    "as_series",
+    "CAPABILITIES",
+    "detector_capabilities",
+]
+
+#: The declared capability vocabulary (see :func:`detector_capabilities`).
+#:
+#: ``streamable``       scores a live window against fitted state, so a
+#:                      :class:`repro.stream.StreamScorer` can serve it
+#:                      without refitting per arrival.
+#: ``warm_startable``   scores *unseen* data from trained state
+#:                      (``score_new``) and persists through
+#:                      :mod:`repro.core.persistence` — fit once, serve
+#:                      forever.
+#: ``transductive``     ``score`` returns the scores of the series it was
+#:                      fitted on, ignoring the argument (the paper's
+#:                      protocol); streaming wrappers must refit a clone on
+#:                      the live window.
+#: ``explainable``      exposes the decomposed outlier series ``T_S``, the
+#:                      input of the channel-attribution stage
+#:                      (:mod:`repro.explain.channels`).
+CAPABILITIES = ("streamable", "warm_startable", "transductive", "explainable")
+
+
+def detector_capabilities(detector):
+    """The declared capability set of ``detector`` (a frozenset).
+
+    This is the one derivation consumers key on — the streaming scorer's
+    auto mode, the batch engine's warm-path guard, persistence, and the
+    :class:`repro.api.Pipeline` facade — replacing the per-call-site
+    ``transductive_only`` / ``score_new`` / ``is_fitted`` attribute probing
+    each of them used to hand-roll.  Works on any duck-typed scorer, not
+    just :class:`BaseDetector` subclasses.
+    """
+    caps = set()
+    if getattr(detector, "transductive_only", False):
+        caps.add("transductive")
+    else:
+        caps.add("streamable")
+    if callable(getattr(detector, "score_new", None)):
+        caps.update(("streamable", "warm_startable"))
+    if getattr(type(detector), "outlier_series", None) is not None:
+        caps.add("explainable")
+    return frozenset(caps)
 
 
 def as_series(series):
@@ -41,6 +87,14 @@ class BaseDetector:
     #: (see :class:`repro.stream.StreamScorer`).
     transductive_only = False
 
+    #: True for detectors whose ``score`` depends only on the passed series
+    #: — ``fit`` keeps no state scoring needs — so they rebuild losslessly
+    #: from a :class:`repro.api.DetectorSpec` alone.  Shard recovery
+    #: (:meth:`repro.serve.StreamRouter.restore`) keys on this: a
+    #: ``score``-mode shard whose detector is neither stateless-scoring nor
+    #: persisted with weights cannot resume and is rejected up front.
+    stateless_scoring = False
+
     def fit(self, series):
         """Fit on an unlabelled ``(C, D)`` series; returns ``self``."""
         raise NotImplementedError
@@ -53,11 +107,32 @@ class BaseDetector:
         """Fit and score the same series (the paper's transductive protocol)."""
         return self.fit(series).score(series)
 
+    def capabilities(self):
+        """Declared capability set (see :func:`detector_capabilities`)."""
+        return detector_capabilities(self)
+
+    @staticmethod
+    def _repr_value(value):
+        """Whether ``value`` is a renderable configuration scalar.
+
+        ``np.isscalar`` admits strings but drops ``None`` and tuples, so
+        reprs used to omit exactly the parameters most worth seeing (an
+        unset window, a kernel-size tuple).  Configuration is anything
+        scalar-ish: None, bools, numbers, strings, and flat tuples thereof.
+        """
+        if value is None or isinstance(value, (bool, int, float, complex, str,
+                                               np.generic)):
+            return True
+        if isinstance(value, tuple):
+            return all(BaseDetector._repr_value(v) for v in value)
+        return False
+
     def __repr__(self):
         params = ", ".join(
             "%s=%r" % (k, v)
             for k, v in sorted(vars(self).items())
-            if not k.startswith("_") and np.isscalar(v)
+            if not k.startswith("_") and not k.endswith("_")
+            and self._repr_value(v)
         )
         return "%s(%s)" % (type(self).__name__, params)
 

@@ -71,6 +71,7 @@ class MatrixProfile(BaseDetector):
     """
 
     name = "MP"
+    stateless_scoring = True  # fit is a no-op; score recomputes the profile
 
     def __init__(self, pattern_size=20):
         self.pattern_size = int(pattern_size)

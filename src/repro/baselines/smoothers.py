@@ -24,6 +24,7 @@ class EMADetector(BaseDetector):
     """
 
     name = "EMA"
+    stateless_scoring = True  # score re-smooths the passed series
 
     def __init__(self, pattern_size=20):
         self.pattern_size = int(pattern_size)
@@ -53,6 +54,7 @@ class STLDetector(BaseDetector):
     """
 
     name = "STL"
+    stateless_scoring = True  # score re-decomposes the passed series
 
     def __init__(self, period=None, seasonal=7, trend=None):
         self.period = period
@@ -84,6 +86,7 @@ class SSADetector(BaseDetector):
     top-``n_components`` reconstruction."""
 
     name = "SSA"
+    stateless_scoring = True  # score re-decomposes the passed series
 
     def __init__(self, window=None, n_components=3):
         self.window = window

@@ -4,14 +4,22 @@ Usage::
 
     python -m repro list-methods
     python -m repro detect --method RDAE --input series.csv --output scores.csv
-    python -m repro detect --method RAE --input series.csv --labels-column label
+    python -m repro detect --method RAE --input series.csv --threshold pot
+    python -m repro pipeline --spec pipeline.json --input series.csv --save model
     python -m repro demo --method RAE
     python -m repro stream --method RAE --input - --train 200 --window 128
-    python -m repro serve --model rae.npz --input - --drain-every 32
+    python -m repro serve --model rae.npz --input - --state-dir state/
 
 ``detect`` reads a CSV whose columns are the series dimensions (an optional
 header row is auto-detected), computes per-observation outlier scores, and
-writes/prints them.  When a labels column is named, PR/ROC AUC are reported.
+writes/prints them.  When a labels column is named, PR/ROC AUC are reported;
+with ``--threshold`` a binary label column is emitted too.
+
+Every subcommand that builds a detector accepts ``--spec pipeline.json``
+instead of ``--method``: the JSON is a :class:`repro.api.PipelineSpec` (or
+bare :class:`repro.api.DetectorSpec`), the same document the Python API,
+persistence sidecars, and router recovery all share — one construction
+surface instead of per-subcommand argparse plumbing.
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ import sys
 import numpy as np
 
 from .datasets import load_dataset
-from .eval import available_methods, make_detector
+from .eval import available_methods
 from .metrics import pr_auc, roc_auc
 
 __all__ = ["main", "build_parser", "read_series_csv", "write_scores_csv"]
@@ -69,11 +77,63 @@ def read_series_csv(path, labels_column=None):
     return data, labels
 
 
-def write_scores_csv(path, scores):
+def write_scores_csv(path, scores, labels=None):
     with open(path, "w") as handle:
-        handle.write("score\n")
-        for value in scores:
-            handle.write("%.10g\n" % value)
+        if labels is None:
+            handle.write("score\n")
+            for value in scores:
+                handle.write("%.10g\n" % value)
+        else:
+            handle.write("score,label\n")
+            for value, label in zip(scores, labels):
+                handle.write("%.10g,%d\n" % (value, label))
+
+
+def _threshold_stage(args):
+    """The spec threshold stage requested by --threshold/--threshold-param."""
+    kind = getattr(args, "threshold", None)
+    if not kind:
+        if getattr(args, "threshold_param", None) is not None:
+            raise SystemExit("--threshold-param needs --threshold "
+                             "{quantile,mad,pot} to bind to")
+        return None
+    stage = {"kind": kind}
+    param = getattr(args, "threshold_param", None)
+    if param is not None:
+        from .api import THRESHOLD_KINDS
+
+        # Each kind's primary knob is the first entry of its spec schema.
+        stage[THRESHOLD_KINDS[kind][0]] = param
+    return stage
+
+
+def _pipeline_from_args(args):
+    """One construction path for every subcommand: spec file or --method.
+
+    ``--spec`` wins when given; otherwise a minimal spec is assembled from
+    ``--method``.  A ``--threshold`` flag overrides the spec's threshold
+    stage either way.
+    """
+    from .api import DetectorSpec, Pipeline, PipelineSpec, read_spec
+
+    if getattr(args, "spec", None):
+        spec = read_spec(args.spec)
+    else:
+        spec = PipelineSpec(DetectorSpec(args.method))
+    stage = _threshold_stage(args)
+    if stage is not None:
+        spec.threshold = stage
+    return Pipeline(spec)
+
+
+def _detector_from_args(args):
+    """The bare detector for subcommands that stream/fit it themselves."""
+    pipeline = _pipeline_from_args(args)
+    if pipeline.spec.preprocess:
+        print("note: the spec's preprocess stages are ignored by this "
+              "subcommand (raw arrivals are scored); they apply in "
+              "`detect` and `pipeline`", file=sys.stderr)
+    return pipeline.detector
 
 
 def build_parser():
@@ -86,9 +146,15 @@ def build_parser():
 
     sub.add_parser("list-methods", help="print the registered method names")
 
+    def add_spec(p):
+        p.add_argument("--spec",
+                       help="pipeline/detector spec JSON (repro.api); "
+                            "overrides --method")
+
     detect = sub.add_parser("detect", help="score a CSV time series")
     detect.add_argument("--method", default="RDAE",
                         help="method name (see list-methods)")
+    add_spec(detect)
     detect.add_argument("--input", required=True, help="input CSV path")
     detect.add_argument("--output", help="output CSV path (default: stdout)")
     detect.add_argument("--labels-column",
@@ -96,9 +162,42 @@ def build_parser():
                              "ground-truth column; enables AUC reporting")
     detect.add_argument("--top", type=int, default=5,
                         help="print the top-K scored positions")
+    detect.add_argument("--threshold", choices=("quantile", "mad", "pot"),
+                        help="emit binary labels via this "
+                             "repro.metrics.thresholds estimator")
+    detect.add_argument("--threshold-param", type=float,
+                        help="the estimator's knob: quantile q (default "
+                             "0.99), MAD k (default 5.0), or POT risk "
+                             "(default 1e-3)")
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run a spec-driven pipeline: score + threshold a CSV, "
+             "optionally persisting (or reloading) the fitted pipeline",
+    )
+    pipeline.add_argument("--spec",
+                          help="pipeline spec JSON (required unless --load)")
+    pipeline.add_argument("--load",
+                          help="reload a pipeline saved by --save (spec "
+                               "sidecar + weights) and score with it "
+                               "instead of fitting from --spec")
+    pipeline.add_argument("--input", required=True, help="input CSV path")
+    pipeline.add_argument("--output",
+                          help="output CSV path (default: stdout)")
+    pipeline.add_argument("--labels-column",
+                          help="0/1 ground-truth column; enables AUC "
+                               "reporting")
+    pipeline.add_argument("--save",
+                          help="persist the fitted pipeline to this stem "
+                               "(<stem>.json spec sidecar + <stem>.npz "
+                               "weights; see repro.core.save_pipeline)")
+    pipeline.add_argument("--explain", action="store_true",
+                          help="print per-channel attribution of the "
+                               "flagged positions (explainable detectors)")
 
     demo = sub.add_parser("demo", help="run a method on a built-in surrogate")
     demo.add_argument("--method", default="RAE")
+    add_spec(demo)
     demo.add_argument("--dataset", default="S5")
     demo.add_argument("--scale", type=float, default=0.15)
 
@@ -109,6 +208,7 @@ def build_parser():
     )
     stream.add_argument("--method", default="RAE",
                         help="method name (see list-methods)")
+    add_spec(stream)
     stream.add_argument("--input", required=True,
                         help="input CSV path, or '-' for stdin")
     stream.add_argument("--train", type=int, default=None,
@@ -137,9 +237,15 @@ def build_parser():
                             "shard (see repro.core.save_detector)")
     serve.add_argument("--method", default="RAE",
                        help="method to fit when --model is not given")
+    add_spec(serve)
     serve.add_argument("--train-input",
                        help="CSV series to fit the shared detector on when "
                             "--model is not given")
+    serve.add_argument("--state-dir",
+                       help="shard-recovery directory: restored from on "
+                            "startup when it holds a saved router, and "
+                            "saved to on shutdown (see StreamRouter.save/"
+                            "restore)")
     serve.add_argument("--window", type=int, default=128,
                        help="sliding-window capacity per stream shard")
     serve.add_argument("--queue-limit", type=int, default=4096,
@@ -153,22 +259,95 @@ def build_parser():
     return parser
 
 
-def _run_detect(args):
-    values, labels = read_series_csv(args.input, args.labels_column)
-    detector = make_detector(args.method)
-    scores = detector.fit_score(values)
+def _emit_scores(args, scores, flags=None):
+    """Write scores (and optional binary labels) per the --output choice."""
     if args.output:
-        write_scores_csv(args.output, scores)
+        write_scores_csv(args.output, scores, flags)
         print("wrote %d scores to %s" % (len(scores), args.output))
-    else:
+    elif flags is None:
         for value in scores:
             print("%.10g" % value)
-    top = np.argsort(-scores)[: args.top]
-    print("top-%d positions: %s" % (args.top, sorted(top.tolist())),
-          file=sys.stderr)
+    else:
+        for value, flag in zip(scores, flags):
+            print("%.10g,%d" % (value, flag))
+
+
+def _report_aucs(labels, scores):
     if labels is not None and 0 < labels.sum() < labels.size:
         print("PR-AUC  = %.4f" % pr_auc(labels, scores), file=sys.stderr)
         print("ROC-AUC = %.4f" % roc_auc(labels, scores), file=sys.stderr)
+
+
+def _run_detect(args):
+    values, labels = read_series_csv(args.input, args.labels_column)
+    pipeline = _pipeline_from_args(args)
+    # --threshold was merged into the spec by _pipeline_from_args, so this
+    # also honours a threshold stage declared in the --spec file itself.
+    if pipeline.spec.threshold is not None:
+        result = pipeline.detect(values)
+        scores, flags = result["scores"], result["labels"]
+        print("threshold(%s) = %.10g, flagged %d/%d"
+              % (pipeline.spec.threshold["kind"], result["threshold"],
+                 flags.sum(), flags.size), file=sys.stderr)
+    else:
+        scores, flags = pipeline.fit_score(values), None
+    _emit_scores(args, scores, flags)
+    top = np.argsort(-scores)[: args.top]
+    print("top-%d positions: %s" % (args.top, sorted(top.tolist())),
+          file=sys.stderr)
+    _report_aucs(labels, scores)
+    return 0
+
+
+def _run_pipeline(args):
+    """Spec JSON -> fitted pipeline -> scores/labels (-> saved pipeline)."""
+    from .core import load_pipeline
+
+    if (args.spec is None) == (args.load is None):
+        raise SystemExit("pipeline needs exactly one of --spec or --load")
+    values, labels = read_series_csv(args.input, args.labels_column)
+    if args.load:
+        pipeline = load_pipeline(args.load)
+        if args.explain and pipeline.is_fitted():
+            # explain() attributes the fit-time decomposition; a loaded
+            # pipeline scores this input warm, so the positions would index
+            # a different series.
+            raise SystemExit(
+                "--explain needs a pipeline fitted on THIS input: it "
+                "attributes the fit-time decomposition, which a --load'ed "
+                "pipeline computed on its training series — use --spec to "
+                "fit-and-explain here"
+            )
+        print("loaded %s pipeline (capabilities: %s%s)"
+              % (pipeline.spec.detector.method,
+                 ", ".join(sorted(pipeline.capabilities())),
+                 ", fitted" if pipeline.is_fitted() else ""),
+              file=sys.stderr)
+    else:
+        pipeline = _pipeline_from_args(args)
+    if args.explain and "explainable" not in pipeline.capabilities():
+        # Knowable before any work runs: fail here, not after the fit.
+        raise SystemExit(
+            "--explain needs an explainable detector (one exposing the "
+            "decomposed outlier series), but %s declares only {%s}"
+            % (pipeline.spec.detector.method,
+               ", ".join(sorted(pipeline.capabilities())))
+        )
+    result = pipeline.detect(values)
+    flags = result["labels"]
+    print("threshold = %.10g, flagged %d/%d"
+          % (result["threshold"], flags.sum(), flags.size), file=sys.stderr)
+    _emit_scores(args, result["scores"], flags)
+    _report_aucs(labels, result["scores"])
+    if args.explain:
+        report = pipeline.explain(np.flatnonzero(flags))
+        for pos, channel in zip(np.flatnonzero(flags),
+                                report["dominant_channels"]):
+            print("position %d: dominant channel %d" % (pos, channel),
+                  file=sys.stderr)
+    if args.save:
+        sidecar = pipeline.save(args.save)
+        print("saved pipeline to %s" % sidecar, file=sys.stderr)
     return 0
 
 
@@ -210,7 +389,7 @@ def _run_stream(args):
                     "need at least 2 observations to train on; got %d "
                     "(is the input empty?)" % len(head_rows)
                 )
-            detector = make_detector(args.method)
+            detector = _detector_from_args(args)
             detector.fit(np.stack(head_rows))
         scorer = StreamScorer(detector, window=args.window)
         # Seed the window with the training tail so the first streamed
@@ -266,25 +445,69 @@ def _run_serve(args):
     created on first sight of a new id, all sharing one fitted detector —
     which is what lets a drain group their forward passes.
     """
-    from .core import load_detector
-    from .serve import StreamRouter
+    import os
 
-    if args.model:
-        detector = load_detector(args.model)
-    elif args.train_input:
-        values, __ = read_series_csv(args.train_input)
-        detector = make_detector(args.method)
-        detector.fit(values)
+    from .core import load_detector
+    from .serve import DrainError, StreamRouter
+
+    import json as _json
+
+    manifest_path = (os.path.join(args.state_dir, "router.json")
+                     if args.state_dir else None)
+    restorable = manifest_path is not None and os.path.exists(manifest_path)
+    # --model / --train-input double as the restore-time default-detector
+    # override: shards whose fitted state could not be persisted (score-
+    # mode non-RAE/RDAE detectors save spec-only) are only restartable
+    # with a fitted instance supplied here.  Skip the (possibly expensive)
+    # load/retrain when the manifest shows restore would discard it anyway
+    # because the saved default has its own weights.
+    need_override = True
+    if restorable:
+        with open(manifest_path) as handle:
+            manifest = _json.load(handle)
+        default = manifest.get("default_detector")
+        need_override = (
+            default is not None
+            and manifest["detectors"][default]["weights"] is None
+        )
+    override = None
+    if need_override:
+        if args.model:
+            override = load_detector(args.model)
+        elif args.train_input:
+            values, __ = read_series_csv(args.train_input)
+            override = _detector_from_args(args)
+            override.fit(values)
+    elif restorable and (args.model or args.train_input):
+        print("note: --model/--train-input ignored — the saved router's "
+              "default detector restores from its own weights (saved "
+              "weights always win; start a fresh --state-dir to serve a "
+              "new model)", file=sys.stderr)
+    if restorable:
+        router = StreamRouter.restore(args.state_dir, detector=override)
+        detector = router.detector if router.detector is not None else override
+        print("restored %d stream(s) from %s"
+              % (len(router), args.state_dir), file=sys.stderr)
+        print("serving with the RESTORED configuration (window=%d, "
+              "queue_limit=%d, on_full=%s); this run's --window/"
+              "--queue-limit/--on-full flags do not apply"
+              % (router.window, router.queue_limit, router.on_full),
+              file=sys.stderr)
+    elif override is not None:
+        detector = override
+        router = StreamRouter(
+            detector,
+            window=args.window,
+            queue_limit=args.queue_limit,
+            on_full=args.on_full.replace("-", "_"),
+        )
     else:
-        raise SystemExit("serve needs --model or --train-input "
-                         "(a shared detector to serve every stream with)")
-    router = StreamRouter(
-        detector,
-        window=args.window,
-        queue_limit=args.queue_limit,
-        on_full=args.on_full.replace("-", "_"),
-    )
-    emitted = {}
+        raise SystemExit("serve needs --model or --train-input (or a "
+                         "--state-dir holding a saved router) — a shared "
+                         "detector to serve every stream with")
+    # Output indices continue where the previous process stopped.
+    emitted = {stream_id: router.stream_stats(stream_id)["scored"]
+               for stream_id in router.streams()}
 
     source = sys.stdin if str(args.input) == "-" else open(args.input)
     out = open(args.output, "w") if args.output else sys.stdout
@@ -303,47 +526,96 @@ def _run_serve(args):
 
         # Drain before the queue can fill: with the 'error' policy a
         # drain-every above the queue limit would raise QueueFullError
-        # before the first drain was ever reached.
-        drain_every = int(np.clip(args.drain_every, 1, args.queue_limit))
+        # before the first drain was ever reached.  Clamp against the
+        # router's OWN limit — a restored router keeps its saved
+        # queue_limit, not this invocation's --queue-limit.
+        drain_every = int(np.clip(args.drain_every, 1, router.queue_limit))
         buffered = 0
-        for line in source:
-            line = line.strip()
-            if not line:
-                continue
-            cells = line.split(",")
+
+        def drain_and_emit():
+            # A partially failed drain already scored (and counted) its
+            # healthy streams; they must be written before the error
+            # propagates, or a --state-dir resume would skip their
+            # indices in the output forever.
             try:
-                row = [float(c) for c in cells[1:]]
-            except (ValueError, IndexError):
-                continue  # header or malformed line
-            if not row:
-                continue
-            router.submit(cells[0].strip(), row)
-            buffered += 1
-            if buffered >= drain_every:
                 emit(router.drain())
-                buffered = 0
-        emit(router.drain())
+            except DrainError as exc:
+                emit(exc.results)
+                raise
+
+        try:
+            for line in source:
+                line = line.strip()
+                if not line:
+                    continue
+                cells = line.split(",")
+                try:
+                    row = [float(c) for c in cells[1:]]
+                except (ValueError, IndexError):
+                    continue  # header or malformed line
+                if not row:
+                    continue
+                router.submit(cells[0].strip(), row)
+                buffered += 1
+                if buffered >= drain_every:
+                    drain_and_emit()
+                    buffered = 0
+        except KeyboardInterrupt:
+            # An operator's Ctrl-C must still score the buffered tail,
+            # surface the stats, and persist the state.
+            print("interrupted; draining %d buffered arrival(s)" % buffered,
+                  file=sys.stderr)
+        drain_and_emit()
     finally:
         if args.output:
             out.close()
         if source is not sys.stdin:
             source.close()
+        # Persist in ALL shutdown paths — EOF, Ctrl-C, or a crashing
+        # arrival/drain: whatever aborts the loop must never cost the
+        # session's accumulated shard state (the error still propagates).
+        if args.state_dir:
+            # Checked before save() runs: inside an except handler
+            # exc_info would report the save's own exception.
+            unwinding = sys.exc_info()[0] is not None
+            try:
+                router.save(args.state_dir)
+                print("saved router state to %s (restart with the same "
+                      "--state-dir to resume)" % args.state_dir,
+                      file=sys.stderr)
+            except Exception as exc:
+                if not unwinding:
+                    raise  # clean shutdown: a failed save IS the error
+                # already unwinding: report, don't mask the root cause
+                print("warning: could not save router state: %s" % exc,
+                      file=sys.stderr)
+        _print_router_stats(router, router.window, detector)
+    return 0
+
+
+def _print_router_stats(router, window, detector):
+    """The shutdown stats surface: router totals + per-stream counters."""
     stats = router.stats()
+    # A restored router may have per-stream detectors and no default.
+    method = detector.name if detector is not None else "per-stream"
     print("served %d streams: %d scored, %d dropped, %d drains "
           "(window=%d, method=%s)"
           % (stats["streams"], stats["scored"], stats["dropped"],
-             stats["drains"], args.window, detector.name), file=sys.stderr)
-    return 0
+             stats["drains"], window, method), file=sys.stderr)
+    for stream_id, per in stats["per_stream"].items():
+        print("  %s: scored=%d dropped=%d lag=%d window_fill=%d mode=%s"
+              % (stream_id, per["scored"], per["dropped"], per["lag"],
+                 per["window_fill"], per["mode"]), file=sys.stderr)
 
 
 def _run_demo(args):
     dataset = load_dataset(args.dataset, scale=args.scale)
     print(dataset.summary())
     ts = dataset[0]
-    detector = make_detector(args.method)
+    detector = _detector_from_args(args)
     scores = detector.fit_score(ts)
     print("%s on %s: PR-AUC = %.4f, ROC-AUC = %.4f" % (
-        args.method, ts.name, pr_auc(ts.labels, scores),
+        detector.name, ts.name, pr_auc(ts.labels, scores),
         roc_auc(ts.labels, scores),
     ))
     return 0
@@ -357,6 +629,8 @@ def main(argv=None):
         return 0
     if args.command == "detect":
         return _run_detect(args)
+    if args.command == "pipeline":
+        return _run_pipeline(args)
     if args.command == "demo":
         return _run_demo(args)
     if args.command == "stream":

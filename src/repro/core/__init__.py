@@ -11,7 +11,12 @@ from .autoencoders import (
 )
 from .convergence import ConvergenceTrace, stopping_conditions
 from .ensemble import RobustEnsemble
-from .persistence import load_detector, save_detector
+from .persistence import (
+    load_detector,
+    load_pipeline,
+    save_detector,
+    save_pipeline,
+)
 from .rae import RAE
 from .rdae import RDAE
 from .scoring import (
@@ -30,6 +35,8 @@ __all__ = [
     "RobustEnsemble",
     "save_detector",
     "load_detector",
+    "save_pipeline",
+    "load_pipeline",
     "ScoringSession",
     "batched_score_new",
     "batched_session_scores",

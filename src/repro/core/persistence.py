@@ -1,21 +1,30 @@
-"""Save / load fitted RAE and RDAE detectors.
+"""Save / load fitted detectors and whole pipelines.
 
 The streaming deployment (``score_new``) only makes sense if a fitted
 detector survives the process that trained it.  Detectors are serialised to
 a single ``.npz``: constructor arguments, the training scaler, the fitted
 decomposition, and every module's parameter arrays.
+
+Weights alone are not enough to *rebuild a scorer*, though: a deployment
+must also round-trip how it was built — method, parameters, preprocessing,
+threshold.  :func:`save_pipeline` therefore writes a JSON spec sidecar
+(:class:`repro.api.PipelineSpec`) next to the npz weights, and
+:func:`load_pipeline` rebuilds a fully-configured
+:class:`repro.api.Pipeline` from the pair.  Shard recovery in
+:class:`repro.serve.StreamRouter` is built on the same two halves.
 """
 
 from __future__ import annotations
 
 import json
+import os
 
 import numpy as np
 
 from .rae import RAE
 from .rdae import RDAE
 
-__all__ = ["save_detector", "load_detector"]
+__all__ = ["save_detector", "load_detector", "save_pipeline", "load_pipeline"]
 
 _RAE_ARGS = (
     "lam", "epsilon", "max_iterations", "kernels", "num_layers",
@@ -106,3 +115,74 @@ def load_detector(path):
     detector.outlier_ = blob["outlier"]
     detector._residual = blob["residual"]
     return detector
+
+
+# --------------------------------------------------------------------- #
+# pipeline persistence: JSON spec sidecar + (optional) npz weights
+
+def _pipeline_paths(path):
+    """Normalise ``path`` (stem, ``.json``, or ``.npz``) to the file pair."""
+    base = str(path)
+    for suffix in (".json", ".npz"):
+        if base.endswith(suffix):
+            base = base[: -len(suffix)]
+    return base + ".json", base + ".npz"
+
+
+def save_pipeline(pipeline, path):
+    """Persist a :class:`repro.api.Pipeline` as spec sidecar + weights.
+
+    Writes ``<path>.json`` — the pipeline's :meth:`to_spec` projection plus
+    persistence metadata — and, when the detector is a fitted RAE/RDAE
+    (the ``warm_startable`` family), ``<path>.npz`` weights next to it.
+    Detectors without persistable weights save spec-only: the restored
+    pipeline is fully configured but must be refitted before warm scoring
+    (which is all a ``transductive`` detector needs anyway).
+
+    Returns the JSON sidecar path.
+    """
+    spec_path, weights_path = _pipeline_paths(path)
+    detector = pipeline.detector
+    weights = None
+    if isinstance(detector, (RAE, RDAE)) and detector.is_fitted():
+        save_detector(detector, weights_path)
+        # Stored relative so the saved pair can be moved as a unit.
+        weights = os.path.basename(weights_path)
+    doc = {
+        "format": "repro.pipeline",
+        "version": 1,
+        "pipeline": pipeline.to_spec().to_dict(),
+        "weights": weights,
+        "fitted": bool(pipeline.is_fitted()),
+    }
+    with open(spec_path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return spec_path
+
+
+def load_pipeline(path):
+    """Rebuild a fully-configured :class:`repro.api.Pipeline`.
+
+    ``path`` may be the stem, the ``.json`` sidecar, or the ``.npz``
+    weights file.  When weights exist the detector is restored fitted
+    (ready for ``score``/``score_new``/streaming); otherwise it is rebuilt
+    from the spec alone.
+    """
+    from ..api import Pipeline, PipelineSpec
+
+    spec_path, __ = _pipeline_paths(path)
+    with open(spec_path) as handle:
+        doc = json.load(handle)
+    if doc.get("format") != "repro.pipeline":
+        raise ValueError(
+            "%s is not a pipeline sidecar (format=%r)"
+            % (spec_path, doc.get("format"))
+        )
+    spec = PipelineSpec.from_dict(doc["pipeline"])
+    if doc.get("weights"):
+        weights_path = os.path.join(
+            os.path.dirname(spec_path) or ".", doc["weights"]
+        )
+        return Pipeline(spec, detector=load_detector(weights_path))
+    return Pipeline(spec)

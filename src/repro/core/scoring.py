@@ -169,6 +169,23 @@ class ScoringSession:
         self._ingest(history, bulk=True)
         return self
 
+    def load_state(self, window, total):
+        """Restore the exact retained state of a live session.
+
+        ``window`` holds the *scaled* rows a live session's ring retained
+        (its ``_ring.view()`` at save time) and ``total`` its arrival
+        count.  The ring is reloaded slot-exact and the lagged embedding
+        rebuilt from the retained rows, so the next ``scores()`` call is
+        bit-identical to the session that never stopped.  Used by
+        :meth:`repro.stream.StreamScorer.load_state_dict` (shard recovery).
+        """
+        self._ring.load(window, total)
+        if self._lagged is not None:
+            self._lagged.rebuild(np.asarray(self._ring.view()))
+        self._cache_total = -1
+        self._cache_scores = np.zeros(0)
+        return self
+
     def ingest(self, points):
         """Ingest a chunk *without* scoring it (the batched-drain hook).
 

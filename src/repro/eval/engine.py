@@ -24,6 +24,7 @@ import copy
 
 import numpy as np
 
+from ..baselines.base import detector_capabilities
 from ..core import (
     RAE,
     RDAE,
@@ -43,8 +44,9 @@ class BatchScoringEngine:
 
     Parameters
     ----------
-    method: registry name (see :func:`repro.eval.make_detector`); mutually
-        exclusive with ``detector``.
+    method: registry name (see :func:`repro.eval.make_detector`) or a
+        :class:`repro.api.DetectorSpec` / :class:`repro.api.PipelineSpec`
+        (its detector stage); mutually exclusive with ``detector``.
     detector: a detector instance to use directly.  In warm mode it is
         used as-is — its fitted state (or lack of it) is the caller's:
         the engine never refits a supplied instance behind your back.
@@ -58,6 +60,18 @@ class BatchScoringEngine:
 
     def __init__(self, method=None, detector=None, overrides=None,
                  mode="warm", batch_size=32):
+        if method is not None and not isinstance(method, str):
+            # A spec names the method AND its params; explicit overrides win.
+            from ..api import DetectorSpec, PipelineSpec
+
+            if isinstance(method, PipelineSpec):
+                method = method.detector
+            if not isinstance(method, DetectorSpec):
+                raise TypeError(
+                    "method must be a registry name or a spec, got %r" % (method,)
+                )
+            overrides = {**method.params, **(overrides or {})}
+            method = method.method
         if (method is None) == (detector is None):
             raise ValueError("pass exactly one of method= or detector=")
         if mode not in ("warm", "transductive"):
@@ -122,9 +136,14 @@ class BatchScoringEngine:
         return engine
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec, mode="warm", batch_size=32):
+        """Build an engine from a :class:`repro.api.DetectorSpec`/:class:`repro.api.PipelineSpec`."""
+        return cls(method=spec, mode=mode, batch_size=batch_size)
+
     def _warm_scores(self, series_list):
         det = self.detector
-        if getattr(det, "transductive_only", False):
+        if "transductive" in detector_capabilities(det):
             # score() would return the reference series' frozen scores for
             # every input; warm serving cannot be correct for this family.
             raise ValueError(

@@ -126,9 +126,12 @@ def available_methods():
 
 
 def make_detector(name, **overrides):
-    """Instantiate method ``name`` with defaults merged with ``overrides``."""
-    if name not in METHODS:
-        raise UnknownMethodError(
-            "unknown method %r; known methods: %s" % (name, ", ".join(METHODS))
-        )
-    return METHODS[name](**overrides)
+    """Instantiate method ``name`` with defaults merged with ``overrides``.
+
+    A thin shim over :meth:`repro.api.DetectorSpec.build` — the spec is the
+    one construction path, so everything built here can equally be
+    persisted, validated, or shipped to a serving shard as data.
+    """
+    from ..api.spec import DetectorSpec
+
+    return DetectorSpec(name, overrides).build()

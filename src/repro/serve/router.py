@@ -22,6 +22,8 @@ passes happen.
 
 from __future__ import annotations
 
+import json
+import os
 from collections import deque
 
 import numpy as np
@@ -30,6 +32,9 @@ from ..core import batched_session_scores
 from ..stream import StreamScorer
 
 __all__ = ["StreamRouter", "QueueFullError", "DrainError"]
+
+_MANIFEST = "router.json"
+_STATE = "state.npz"
 
 
 class QueueFullError(RuntimeError):
@@ -74,6 +79,12 @@ class StreamRouter:
     def __init__(self, detector=None, *, window=256, min_points=2,
                  mode="auto", queue_limit=1024, batch_size=32,
                  on_full="error"):
+        if detector is not None:
+            from ..api import as_detector
+
+            # Coerce specs/names here (not per shard) so every shard shares
+            # ONE built instance — which is what lets drains group forwards.
+            detector = as_detector(detector)
         self.detector = detector
         self.window = int(window)
         self.min_points = int(min_points)
@@ -102,6 +113,10 @@ class StreamRouter:
         """Create a shard for ``stream_id``; returns its scorer."""
         if stream_id in self._shards:
             raise ValueError("stream %r already exists" % (stream_id,))
+        if detector is not None:
+            from ..api import as_detector
+
+            detector = as_detector(detector)
         detector = detector if detector is not None else self.detector
         if detector is None:
             raise ValueError(
@@ -263,6 +278,228 @@ class StreamRouter:
                 results, failures,
             )
         return results
+
+    # ------------------------------------------------------------------ #
+    # persistence-backed shard recovery
+    def _persistable_detector(self, detector, directory, index):
+        """Manifest entry for ``detector``: spec and/or npz weights."""
+        from ..api import DetectorSpec, SpecError
+        from ..core import RAE, RDAE, save_detector
+
+        entry = {"spec": None, "weights": None}
+        try:
+            entry["spec"] = DetectorSpec.from_detector(detector).to_dict()
+        except SpecError:
+            pass  # not a registry class; weights may still carry it
+        if isinstance(detector, (RAE, RDAE)) and detector.is_fitted():
+            filename = "detector%d.npz" % index
+            save_detector(detector, os.path.join(directory, filename))
+            entry["weights"] = filename
+        if entry["spec"] is None and entry["weights"] is None:
+            raise ValueError(
+                "cannot persist %s for restore: not a registry method and "
+                "not a saveable fitted RAE/RDAE" % type(detector).__name__
+            )
+        return entry
+
+    def save(self, directory):
+        """Persist the router so :meth:`restore` rebuilds it elsewhere.
+
+        Writes ``router.json`` (config, per-detector spec/weights refs,
+        per-stream scorer configs + counters, the still-queued arrivals)
+        and ``state.npz`` (every shard's retained window) into
+        ``directory``.  Each distinct detector is saved once — as a
+        :class:`repro.api.DetectorSpec` when it is a registry method, plus
+        npz weights when it is a fitted RAE/RDAE — so a restored shard
+        round-trips *how it was built*, not just its numbers.
+
+        Returns the manifest path.
+        """
+        os.makedirs(directory, exist_ok=True)
+        detectors, by_id = [], {}
+
+        def register(detector):
+            key = id(detector)
+            if key not in by_id:
+                by_id[key] = len(detectors)
+                detectors.append(
+                    self._persistable_detector(detector, directory, len(detectors))
+                )
+            return by_id[key]
+
+        default = None if self.detector is None else register(self.detector)
+        streams, arrays = [], {}
+        for i, (stream_id, scorer) in enumerate(self._shards.items()):
+            state = scorer.state_dict()
+            arrays["s%d::window" % i] = state["window"]
+            # score/score_new shards evaluate fitted state at drain time;
+            # unless the detector is stateless-scoring, only restored
+            # weights (or a restore-time override) can resume them.
+            needs_fit = (
+                scorer.mode in ("score", "score_new")
+                and not getattr(scorer.detector, "stateless_scoring", False)
+            )
+            index = register(scorer.detector)
+            if (needs_fit and detectors[index]["weights"] is None
+                    and index != default):
+                # The restore-time detector= override only replaces the
+                # router DEFAULT; a weightless per-stream detector would be
+                # a dead end no restore() call could ever rebuild — refuse
+                # now, while the caller can still fix the configuration.
+                raise ValueError(
+                    "stream %r (mode %r) has a per-stream detector whose "
+                    "fitted state cannot be persisted (%s, spec-only) and "
+                    "which no restore() override could replace. Serve it "
+                    "in 'refit' mode, use a persistable RAE/RDAE, or make "
+                    "it the router default."
+                    % (stream_id, scorer.mode,
+                       type(scorer.detector).__name__)
+                )
+            streams.append({
+                "id": stream_id,
+                "needs_fitted_detector": needs_fit,
+                "detector": index,
+                "window": scorer.window,
+                "min_points": scorer.min_points,
+                "mode": scorer.mode,
+                "kind": state["kind"],
+                "dims": state["dims"],
+                "total": state["total"],
+                "submitted": self._submitted[stream_id],
+                "scored": self._scored[stream_id],
+                "dropped": self._dropped[stream_id],
+                "dims_seen": self._dims.get(stream_id),
+            })
+        manifest = {
+            "format": "repro.router",
+            "version": 1,
+            "config": {
+                "window": self.window,
+                "min_points": self.min_points,
+                "mode": self.mode,
+                "queue_limit": self.queue_limit,
+                "batch_size": self.batch_size,
+                "on_full": self.on_full,
+            },
+            "detectors": detectors,
+            "default_detector": default,
+            "streams": streams,
+            # JSON floats round-trip exactly in Python, so re-queued
+            # arrivals score identically after a restore.
+            "queue": [[stream_id, row.tolist()]
+                      for stream_id, row in self._queue],
+            "drains": self._drains,
+        }
+        np.savez(os.path.join(directory, _STATE), **arrays)
+        path = os.path.join(directory, _MANIFEST)
+        with open(path, "w") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def restore(cls, directory, detector=None):
+        """Rebuild a router saved by :meth:`save`; scoring resumes exactly.
+
+        Every shard is rebuilt from its saved spec/weights and reloaded
+        with its retained window, arrival counts, and stats, and the
+        still-queued arrivals are re-queued — feeding the restored router
+        the same subsequent arrivals as a never-restarted one produces the
+        same per-stream scores.
+
+        ``detector=`` substitutes for the saved *default* detector when its
+        fitted state could not be persisted (spec-only save); saved npz
+        weights always win over the override — the retained session
+        windows were scaled by the saved detector, so replacing it would
+        silently change scores.  Note a
+        spec-only restore rebuilds detectors *unfitted*: fine for ``refit``
+        shards (the paper's transductive protocol refits per window
+        anyway) and stateless-scoring detectors, but ``score``/
+        ``score_new`` shards whose fitted state could not be persisted are
+        rejected here, up front, with the remedy — never at first drain.
+        """
+        with open(os.path.join(directory, _MANIFEST)) as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != "repro.router":
+            raise ValueError("%s is not a router manifest" % directory)
+        config = manifest["config"]
+        built, spec_only = {}, set()
+
+        def build(index):
+            if index is None:
+                return None
+            if index not in built:
+                entry = manifest["detectors"][index]
+                # Saved weights always win: the retained session windows
+                # were scaled by THAT detector, so substituting another
+                # would silently change scores.  The override is a
+                # fallback for a default whose state could not persist.
+                if entry["weights"]:
+                    from ..core import load_detector
+
+                    built[index] = load_detector(
+                        os.path.join(directory, entry["weights"])
+                    )
+                elif detector is not None and index == manifest["default_detector"]:
+                    built[index] = detector
+                else:
+                    from ..api import DetectorSpec
+
+                    # A spec rebuild is UNFITTED — fine for refit shards
+                    # and stateless-scoring detectors, fatal for shards
+                    # that score through fitted state (checked below).
+                    built[index] = DetectorSpec.from_dict(entry["spec"]).build()
+                    spec_only.add(index)
+            return built[index]
+
+        router = cls(
+            build(manifest["default_detector"]),
+            window=config["window"],
+            min_points=config["min_points"],
+            mode=config["mode"],
+            queue_limit=config["queue_limit"],
+            batch_size=config["batch_size"],
+            on_full=config["on_full"],
+        )
+        state_path = os.path.join(directory, _STATE)
+        blob = np.load(state_path) if os.path.exists(state_path) else None
+        for i, entry in enumerate(manifest["streams"]):
+            shard_detector = build(entry["detector"])
+            if (entry.get("needs_fitted_detector")
+                    and entry["detector"] in spec_only):
+                raise ValueError(
+                    "stream %r (mode %r) scores through fitted state, but "
+                    "its detector could only be rebuilt unfitted from its "
+                    "spec (no saved weights) — resuming would fail on the "
+                    "first drain. Pass detector= with a fitted instance, "
+                    "or serve this method in 'refit' mode."
+                    % (entry["id"], entry["mode"])
+                )
+            scorer = router.add_stream(
+                entry["id"],
+                detector=shard_detector,
+                window=entry["window"],
+                min_points=entry["min_points"],
+                mode=entry["mode"],
+            )
+            scorer.load_state_dict({
+                "kind": entry["kind"],
+                "dims": entry["dims"],
+                "window": blob["s%d::window" % i] if blob is not None
+                else np.zeros((0, 0)),
+                "total": entry["total"],
+            })
+            router._submitted[entry["id"]] = entry["submitted"]
+            router._scored[entry["id"]] = entry["scored"]
+            router._dropped[entry["id"]] = entry["dropped"]
+            if entry.get("dims_seen") is not None:
+                router._dims[entry["id"]] = entry["dims_seen"]
+        for stream_id, row in manifest["queue"]:
+            # Straight onto the queue: these arrivals were already counted
+            # by submit() before the save.
+            router._queue.append((stream_id, np.asarray(row, dtype=np.float64)))
+        router._drains = manifest["drains"]
+        return router
 
     # ------------------------------------------------------------------ #
     # observability

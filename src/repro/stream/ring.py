@@ -72,6 +72,37 @@ class RingBuffer:
         self._total += arr.shape[0]
         return self
 
+    def load(self, rows, total):
+        """Reset to exactly the retained window of a live buffer.
+
+        ``rows`` is the window content oldest-first (what :meth:`view`
+        returned at save time) and ``total`` the observations the live
+        buffer had ever seen.  The rows are written at the same slots the
+        live buffer held them in, so a restored buffer is indistinguishable
+        from one that never stopped — ``view``, ``total``, eviction order,
+        and warmup accounting all line up.
+        """
+        arr = np.asarray(rows, dtype=np.float64)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2 or (arr.size and arr.shape[1] != self.dims):
+            raise ValueError("rows must be (n, %d), got %s"
+                             % (self.dims, arr.shape))
+        total = int(total)
+        size = arr.shape[0]
+        if size != min(total, self.capacity):
+            raise ValueError(
+                "a buffer that saw %d observations retains %d rows, got %d"
+                % (total, min(total, self.capacity), size)
+            )
+        self._data[:] = 0.0
+        self._total = total
+        if size:
+            slots = (total - size + np.arange(size)) % self.capacity
+            self._data[slots] = arr
+            self._data[slots + self.capacity] = arr
+        return self
+
     def view(self):
         """The current window, oldest-first, as a read-only ``(size, dims)`` view."""
         size = len(self)

@@ -25,6 +25,7 @@ import copy
 
 import numpy as np
 
+from ..baselines.base import detector_capabilities
 from .ring import RingBuffer
 
 __all__ = ["StreamScorer"]
@@ -36,7 +37,11 @@ class StreamScorer:
     Parameters
     ----------
     detector: a fitted detector (or, for ``refit`` mode, a configured one —
-        the clone is refitted on the window anyway).
+        the clone is refitted on the window anyway).  Also accepts any
+        construction handle :func:`repro.api.as_detector` understands — a
+        :class:`repro.api.DetectorSpec`, :class:`repro.api.PipelineSpec`,
+        spec-shaped dict, or registry method name — which builds the
+        detector here (unfitted; fit it or use ``refit`` mode).
     window: sliding-window capacity; per-arrival work is bounded by it.
     min_points: total arrivals (including :meth:`seed` history) required
         before scoring starts; chunks ingested wholly before that threshold
@@ -53,6 +58,9 @@ class StreamScorer:
     """
 
     def __init__(self, detector, window=256, min_points=2, mode="auto"):
+        from ..api import as_detector
+
+        detector = as_detector(detector)
         self.detector = detector
         self.window = int(window)
         self.min_points = max(int(min_points), 2)
@@ -61,9 +69,10 @@ class StreamScorer:
         if mode not in ("auto", "score_new", "score", "refit"):
             raise ValueError("mode must be auto/score_new/score/refit, got %r" % mode)
         if mode == "auto":
-            if hasattr(detector, "score_new"):
+            caps = detector_capabilities(detector)
+            if "warm_startable" in caps:
                 mode = "score_new"
-            elif getattr(detector, "transductive_only", False):
+            elif "transductive" in caps:
                 # score() would return frozen fit-time scores regardless of
                 # the window content; the only correct streaming protocol is
                 # refitting a clone on the live window.
@@ -177,6 +186,55 @@ class StreamScorer:
             self._session.seed(arr)
         else:
             self._ring.extend(arr)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # state round-trip (shard recovery: repro.serve.StreamRouter.save/restore)
+    def state_dict(self):
+        """The scorer's retained streaming state as plain arrays.
+
+        ``kind`` says which scoring path owns the state (``session`` rows
+        are scaled by the detector's training scaler, ``ring`` rows are
+        raw arrivals); ``window`` is the retained window oldest-first and
+        ``total`` the arrivals ever ingested — everything
+        :meth:`load_state_dict` needs to resume the stream bit-exactly.
+        The detector itself is *not* included; persist it with
+        :mod:`repro.core.persistence` (or a spec) alongside.
+        """
+        if self._session is not None:
+            return {"kind": "session", "dims": int(self._session.dims),
+                    "window": np.asarray(self._session._ring.view()).copy(),
+                    "total": int(self._session.total)}
+        if self._ring is not None:
+            return {"kind": "ring", "dims": int(self._ring.dims),
+                    "window": np.asarray(self._ring.view()).copy(),
+                    "total": int(self._ring.total)}
+        return {"kind": "empty", "dims": 0,
+                "window": np.zeros((0, 0)), "total": 0}
+
+    def load_state_dict(self, state):
+        """Restore state saved by :meth:`state_dict`; returns ``self``.
+
+        The scorer must have been constructed with the same mode family as
+        the saved state (a ``session`` state needs a ``score_new`` scorer,
+        anything else a ring path) — a mismatch means the detector or mode
+        changed between save and restore, which cannot resume bit-exactly.
+        """
+        kind = state["kind"]
+        if kind == "empty":
+            return self
+        self._ensure_state(int(state["dims"]))
+        expected = "session" if self._session is not None else "ring"
+        if kind != expected:
+            raise ValueError(
+                "saved state is %r but this scorer (mode=%r) keeps %r "
+                "state; was the detector or mode changed since the save?"
+                % (kind, self.mode, expected)
+            )
+        if self._session is not None:
+            self._session.load_state(state["window"], state["total"])
+        else:
+            self._ring.load(state["window"], state["total"])
         return self
 
     def rescore(self):

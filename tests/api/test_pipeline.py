@@ -1,0 +1,192 @@
+"""Pipeline facade: verbs, capabilities, threshold/explain stages, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CapabilityError,
+    DetectorSpec,
+    Pipeline,
+    PipelineSpec,
+    capabilities,
+)
+from repro.core import load_pipeline
+from repro.metrics import quantile_threshold
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(7)
+    t = np.arange(140)
+    values = np.sin(2 * np.pi * t / 20) + 0.05 * rng.standard_normal(140)
+    values[70] += 5.0
+    return values[:, None]
+
+
+RAE_SPEC = PipelineSpec(DetectorSpec("RAE", {"max_iterations": 4}))
+
+
+def test_fit_score_matches_raw_detector(series):
+    from repro.eval import make_detector
+
+    pipeline = Pipeline(RAE_SPEC)
+    raw = make_detector("RAE", max_iterations=4)
+    assert np.allclose(pipeline.fit_score(series), raw.fit_score(series))
+
+
+def test_fit_then_score(series):
+    pipeline = Pipeline(RAE_SPEC).fit(series[:100])
+    assert pipeline.is_fitted()
+    scores = pipeline.score(series)
+    assert scores.shape == (140,)
+    assert np.isfinite(scores).all()
+
+
+def test_score_before_fit_raises(series):
+    with pytest.raises(RuntimeError, match="fit the pipeline"):
+        Pipeline(RAE_SPEC).score(series)
+
+
+def test_capabilities_sets():
+    assert capabilities(DetectorSpec("RAE")) == {
+        "streamable", "warm_startable", "explainable",
+    }
+    assert capabilities(DetectorSpec("RSSA")) == {"transductive"}
+    assert capabilities(DetectorSpec("LOF")) == {"streamable"}
+    assert "transductive" in Pipeline("N-RAE").capabilities()
+
+
+def test_detect_applies_spec_threshold(series):
+    pipeline = Pipeline(PipelineSpec(
+        DetectorSpec("RAE", {"max_iterations": 4}),
+        threshold={"kind": "quantile", "q": 0.95},
+    ))
+    result = pipeline.detect(series)
+    assert result["threshold"] == pytest.approx(
+        quantile_threshold(result["scores"], q=0.95)
+    )
+    assert result["labels"].sum() >= 1
+    assert result["labels"][70] == 1  # the planted spike is flagged
+
+
+@pytest.mark.parametrize("kind", ["quantile", "mad", "pot"])
+def test_every_threshold_kind_runs(series, kind):
+    pipeline = Pipeline(PipelineSpec("EMA", threshold={"kind": kind}))
+    result = pipeline.detect(series)
+    assert np.isfinite(result["threshold"])
+    assert result["labels"].shape == (140,)
+
+
+def test_detect_with_precomputed_scores(series):
+    pipeline = Pipeline(PipelineSpec("EMA"))
+    scores = pipeline.fit_score(series)
+    result = pipeline.detect(scores=scores)
+    assert np.array_equal(result["scores"], scores)
+    with pytest.raises(ValueError, match="exactly one"):
+        pipeline.detect(series, scores=scores)
+
+
+def test_preprocess_stages_apply(series):
+    pipeline = Pipeline(PipelineSpec(
+        "EMA", preprocess=[{"kind": "clip", "lo": -1.0, "hi": 1.0}]
+    ))
+    arr = pipeline.preprocess(series)
+    assert arr.max() <= 1.0 and arr.min() >= -1.0
+    # standardize stage centres the data
+    std = Pipeline(PipelineSpec("EMA", preprocess=[{"kind": "standardize"}]))
+    assert abs(std.preprocess(series).mean()) < 1e-9
+
+
+def test_explain_requires_capability(series):
+    pipeline = Pipeline(PipelineSpec("LOF"))
+    pipeline.fit_score(series)
+    with pytest.raises(CapabilityError, match="explainable"):
+        pipeline.explain()
+
+
+def test_explain_rejects_indices_beyond_fitted_series(series):
+    pipeline = Pipeline(RAE_SPEC).fit(series[:80])
+    with pytest.raises(ValueError, match="FITTED on"):
+        pipeline.explain([120])
+
+
+def test_explain_attributes_channels(series):
+    two = np.hstack([series, 0.05 * np.ones_like(series)])
+    pipeline = Pipeline(RAE_SPEC)
+    pipeline.fit_score(two)
+    report = pipeline.explain()
+    assert report["contributions"].shape == (140, 2)
+    assert report["dominant_channels"].shape == (140,)
+    # The spike lives in channel 0.
+    assert report["dominant_channels"][70] == 0
+
+
+def test_to_spec_captures_live_params(series):
+    pipeline = Pipeline(RAE_SPEC)
+    pipeline.detector.lam = 0.25
+    spec = pipeline.to_spec()
+    assert spec.detector.params["lam"] == 0.25
+    assert Pipeline.from_spec(spec).detector.lam == 0.25
+
+
+def test_pipeline_from_detector_instance(series):
+    from repro.eval import make_detector
+
+    det = make_detector("LOF", n_neighbors=5)
+    pipeline = Pipeline(detector=det)
+    assert pipeline.detector is det
+    assert pipeline.to_spec().detector.params["n_neighbors"] == 5
+
+
+def test_supplied_fitted_instance_is_trusted(series):
+    """A caller-fitted detector must be scored with, never silently refitted
+    by detect() (mirrors BatchScoringEngine's user-supplied contract)."""
+    from repro.eval import make_detector
+
+    det = make_detector("LOF", n_neighbors=5).fit(series[:100])
+    reference = det.score(series)
+    pipeline = Pipeline(detector=det)
+    assert pipeline.is_fitted()
+    assert np.array_equal(pipeline.score(series), reference)
+    # detect() takes the score() branch, not a behind-your-back fit_score.
+    assert np.array_equal(pipeline.detect(series)["scores"], reference)
+
+
+# ------------------------------ persistence --------------------------- #
+
+def test_save_load_bit_for_bit(series, tmp_path):
+    pipeline = Pipeline(PipelineSpec(
+        DetectorSpec("RAE", {"max_iterations": 4}),
+        threshold={"kind": "quantile", "q": 0.97},
+    ))
+    pipeline.fit(series[:100])
+    reference = pipeline.score(series)
+    sidecar = pipeline.save(tmp_path / "model")
+    assert str(sidecar).endswith(".json")
+
+    restored = load_pipeline(tmp_path / "model")
+    assert restored.is_fitted()
+    assert restored.spec.threshold == {"kind": "quantile", "q": 0.97}
+    assert np.array_equal(restored.score(series), reference)
+    # score_new parity too (the warm-start path)
+    assert np.array_equal(
+        restored.detector.score_new(series), pipeline.detector.score_new(series)
+    )
+
+
+def test_spec_only_save_for_unpersistable_detector(series, tmp_path):
+    pipeline = Pipeline(PipelineSpec("LOF"))
+    pipeline.fit_score(series)
+    pipeline.save(tmp_path / "lof")
+    assert not (tmp_path / "lof.npz").exists()
+    restored = Pipeline.load(tmp_path / "lof")
+    assert restored.spec.detector.method == "LOF"
+    assert not restored.is_fitted()  # weights cannot round-trip; spec does
+    assert np.allclose(restored.fit_score(series), pipeline.fit_score(series))
+
+
+def test_load_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"format": "something-else"}')
+    with pytest.raises(ValueError, match="not a pipeline sidecar"):
+        load_pipeline(path)

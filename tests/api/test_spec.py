@@ -1,0 +1,176 @@
+"""DetectorSpec / PipelineSpec: validation, JSON round-trips, coercion."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    DetectorSpec,
+    PipelineSpec,
+    SpecError,
+    as_detector,
+    read_spec,
+)
+from repro.baselines import LOF
+from repro.core import RAE
+from repro.eval import UnknownMethodError, make_detector
+
+
+def test_build_matches_make_detector():
+    a = DetectorSpec("LOF", {"n_neighbors": 7}).build()
+    b = make_detector("LOF", n_neighbors=7)
+    assert type(a) is type(b)
+    assert a.n_neighbors == b.n_neighbors == 7
+
+
+def test_params_kwargs_merge():
+    spec = DetectorSpec("RAE", {"lam": 0.5}, max_iterations=3)
+    assert spec.params == {"lam": 0.5, "max_iterations": 3}
+
+
+def test_unknown_method_raises():
+    with pytest.raises(UnknownMethodError, match="unknown method 'NOPE'"):
+        DetectorSpec("NOPE").validate()
+
+
+def test_unknown_param_raises_with_searchable_hint():
+    with pytest.raises(SpecError, match="has no parameter 'frobnicate'"):
+        DetectorSpec("RAE", {"frobnicate": 1}).validate()
+
+
+def test_non_jsonable_param_raises():
+    with pytest.raises(SpecError, match="not JSON-serializable"):
+        DetectorSpec("RAE", {"lam": object()}).validate()
+
+
+def test_numpy_scalars_are_coerced():
+    spec = DetectorSpec("LOF", {"n_neighbors": np.int64(9)})
+    text = spec.to_json()
+    assert DetectorSpec.from_json(text).params["n_neighbors"] == 9
+    assert json.loads(text)["params"]["n_neighbors"] == 9
+
+
+def test_from_detector_rejects_unregistered_classes():
+    class Foreign:
+        pass
+
+    with pytest.raises(SpecError, match="not a registry detector class"):
+        DetectorSpec.from_detector(Foreign())
+
+
+def test_from_detector_captures_derived_params():
+    # stride defaults from the window inside the constructor; the projected
+    # spec captures the concrete value so the rebuild is behaviourally equal.
+    det = make_detector("CNNAE", window=40)
+    spec = DetectorSpec.from_detector(det)
+    assert spec.params["stride"] == det.stride
+    assert spec.build().stride == det.stride
+
+
+def test_detector_spec_json_round_trip():
+    spec = DetectorSpec("RDAE", {"window": 30, "max_outer": 2})
+    again = DetectorSpec.from_json(spec.to_json())
+    assert again == spec
+    assert hash(again) == hash(spec)
+
+
+def test_sequence_params_hash_and_compare_across_json():
+    # Tuples normalize to lists in JSON; equality and hashing must agree
+    # across the round-trip (specs are dedup keys in the serving layer).
+    spec = DetectorSpec("STL", {"trend": (1, 2)})
+    again = DetectorSpec.from_json(spec.to_json())
+    assert again.params["trend"] == [1, 2]
+    assert again == spec
+    assert hash(again) == hash(spec)
+    assert len({spec, again}) == 1
+
+
+def test_search_space_exposed():
+    assert "lam" in DetectorSpec("RAE").search_space()
+    assert DetectorSpec("N-RAE").search_space() == {}
+
+
+# ---------------------------- PipelineSpec ---------------------------- #
+
+def test_pipeline_spec_round_trip():
+    spec = PipelineSpec(
+        DetectorSpec("RAE", {"max_iterations": 4}),
+        preprocess=[{"kind": "clip", "lo": -5.0, "hi": 5.0}],
+        threshold={"kind": "mad", "k": 4.0},
+        explain={"normalize": False},
+    )
+    spec.validate()
+    again = PipelineSpec.from_json(spec.to_json())
+    assert again == spec
+
+
+def test_pipeline_spec_accepts_bare_detector_dict():
+    spec = PipelineSpec.from_dict({"method": "LOF", "params": {"context": 2}})
+    assert spec.detector == DetectorSpec("LOF", {"context": 2})
+    assert spec.threshold is None
+
+
+def test_pipeline_spec_accepts_method_name():
+    assert PipelineSpec("MP").detector.method == "MP"
+
+
+def test_pipeline_spec_is_hashable():
+    a = PipelineSpec("MP", threshold={"kind": "mad", "k": 4.0})
+    b = PipelineSpec.from_json(a.to_json())
+    assert len({a, b}) == 1
+
+
+def test_bad_threshold_kind_raises():
+    with pytest.raises(SpecError, match="unknown threshold kind"):
+        PipelineSpec("RAE", threshold={"kind": "zscore"}).validate()
+
+
+def test_bad_threshold_param_raises_up_front():
+    # 'risk' belongs to pot, not quantile: validation must catch it, not a
+    # TypeError deep inside detect().
+    with pytest.raises(SpecError, match="'quantile' has no parameter 'risk'"):
+        PipelineSpec("RAE",
+                     threshold={"kind": "quantile", "risk": 1e-3}).validate()
+
+
+def test_bad_preprocess_param_raises_up_front():
+    with pytest.raises(SpecError, match="'standardize' has no parameter"):
+        PipelineSpec("RAE",
+                     preprocess=[{"kind": "standardize", "ddof": 1}]).validate()
+
+
+def test_bad_preprocess_kind_raises():
+    with pytest.raises(SpecError, match="unknown preprocess kind"):
+        PipelineSpec("RAE", preprocess=[{"kind": "fourier"}]).validate()
+
+
+def test_unknown_top_level_keys_raise():
+    with pytest.raises(SpecError, match="unknown pipeline spec keys"):
+        PipelineSpec.from_dict({"detector": {"method": "RAE"}, "tresh": {}})
+
+
+def test_read_spec_file(tmp_path):
+    path = tmp_path / "spec.json"
+    PipelineSpec("EMA", threshold={"kind": "quantile", "q": 0.9}).save(path)
+    spec = read_spec(path)
+    assert spec.detector.method == "EMA"
+    assert spec.threshold == {"kind": "quantile", "q": 0.9}
+
+
+# ----------------------------- as_detector ---------------------------- #
+
+def test_as_detector_coercions():
+    lof = LOF()
+    assert as_detector(lof) is lof
+    assert isinstance(as_detector("RAE"), RAE)
+    assert isinstance(as_detector(DetectorSpec("RAE")), RAE)
+    assert isinstance(as_detector(PipelineSpec("RAE")), RAE)
+    assert isinstance(as_detector({"method": "RAE"}), RAE)
+
+
+def test_as_detector_unwraps_pipeline():
+    from repro.api import Pipeline
+
+    pipeline = Pipeline("LOF")
+    assert as_detector(pipeline) is pipeline.detector

@@ -33,6 +33,24 @@ def test_requires_exactly_one_source():
         BatchScoringEngine(method="RAE", mode="bogus")
 
 
+def test_engine_accepts_detector_spec():
+    from repro.api import DetectorSpec, PipelineSpec
+
+    spec = DetectorSpec("RAE", {"max_iterations": 5, "lam": 0.2})
+    engine = BatchScoringEngine(method=spec)
+    assert engine.method == "RAE"
+    assert engine.detector.max_iterations == 5
+    assert engine.detector.lam == 0.2
+    # Explicit overrides beat spec params; PipelineSpec contributes its
+    # detector stage; from_spec is the classmethod spelling.
+    assert BatchScoringEngine(method=spec,
+                              overrides={"lam": 0.7}).detector.lam == 0.7
+    pipe_spec = PipelineSpec(spec)
+    assert BatchScoringEngine.from_spec(pipe_spec).detector.max_iterations == 5
+    with pytest.raises(TypeError, match="registry name or a spec"):
+        BatchScoringEngine(method=RAE())
+
+
 def test_warm_batched_matches_per_series_score_new():
     fleet = make_fleet()
     engine = BatchScoringEngine(

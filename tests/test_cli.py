@@ -275,3 +275,299 @@ def test_serve_requires_a_detector_source(serve_setup):
     __, feed_path, __n = serve_setup
     with pytest.raises(SystemExit, match="--model or --train-input"):
         main(["serve", "--input", str(feed_path)])
+
+
+def test_serve_prints_per_stream_stats_on_shutdown(serve_setup, capsys):
+    model_path, feed_path, per_stream = serve_setup
+    assert main([
+        "serve", "--input", str(feed_path), "--model", str(model_path),
+        "--window", "32",
+    ]) == 0
+    err = capsys.readouterr().err
+    for sid in ("web", "db", "cache"):
+        assert "%s: scored=%d dropped=0 lag=0" % (sid, per_stream) in err
+
+
+def test_serve_state_dir_round_trip(serve_setup, tmp_path, capsys):
+    """Two serve runs over a split feed with --state-dir must produce the
+    same scores as one run over the whole feed (shard recovery end-to-end)."""
+    model_path, feed_path, per_stream = serve_setup
+    lines = open(feed_path).read().splitlines()
+    header, rows = lines[0], lines[1:]
+    # Cut on a drain boundary (default --drain-every 32): scores depend on
+    # the window content at drain time, so an off-boundary cut would change
+    # micro-batch context, not test recovery.
+    half = 96
+    first, second = tmp_path / "first.csv", tmp_path / "second.csv"
+    first.write_text("\n".join([header] + rows[:half]) + "\n")
+    second.write_text("\n".join(rows[half:]) + "\n")
+    state = tmp_path / "state"
+
+    assert main(["serve", "--input", str(feed_path),
+                 "--model", str(model_path), "--window", "32"]) == 0
+    whole = capsys.readouterr().out.splitlines()
+
+    assert main(["serve", "--input", str(first), "--model", str(model_path),
+                 "--window", "32", "--state-dir", str(state)]) == 0
+    out_a = capsys.readouterr()
+    assert "saved router state" in out_a.err
+    assert main(["serve", "--input", str(second), "--model", str(model_path),
+                 "--window", "32", "--state-dir", str(state)]) == 0
+    out_b = capsys.readouterr()
+    assert "restored 3 stream(s)" in out_b.err
+    resumed = out_a.out.splitlines() + out_b.out.splitlines()
+    # Same scores, same per-stream indices — drain boundaries may differ,
+    # so compare as sets of (stream, index, score) rows.
+    assert sorted(resumed) == sorted(whole)
+
+
+# --------------------------- spec-driven flows --------------------------- #
+
+@pytest.fixture
+def spec_path(tmp_path):
+    from repro.api import DetectorSpec, PipelineSpec
+
+    path = tmp_path / "pipeline.json"
+    PipelineSpec(
+        DetectorSpec("EMA", {"pattern_size": 10}),
+        threshold={"kind": "quantile", "q": 0.95},
+    ).save(path)
+    return path
+
+
+def test_detect_threshold_emits_labels(csv_with_header, tmp_path, capsys):
+    out_path = tmp_path / "scores.csv"
+    code = main([
+        "detect", "--method", "EMA", "--input", str(csv_with_header),
+        "--labels-column", "label", "--threshold", "quantile",
+        "--threshold-param", "0.95", "--output", str(out_path),
+    ])
+    assert code == 0
+    content = out_path.read_text().splitlines()
+    assert content[0] == "score,label"
+    labels = [int(line.split(",")[1]) for line in content[1:]]
+    assert 0 < sum(labels) <= 8  # top 5% of 160 points
+    assert labels[50] == 1  # the planted spike
+    assert "threshold(quantile)" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("kind", ["mad", "pot"])
+def test_detect_other_threshold_kinds(csv_with_header, kind, capsys):
+    code = main([
+        "detect", "--method", "EMA", "--input", str(csv_with_header),
+        "--labels-column", "label", "--threshold", kind,
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "threshold(%s)" % kind in captured.err
+    assert all("," in line for line in captured.out.splitlines())
+
+
+def test_detect_builds_from_spec(csv_with_header, spec_path, capsys):
+    code = main([
+        "detect", "--spec", str(spec_path), "--input", str(csv_with_header),
+        "--labels-column", "label",
+    ])
+    assert code == 0
+    captured = capsys.readouterr()
+    # The spec file's own threshold stage is honoured without --threshold.
+    assert "threshold(quantile)" in captured.err
+    assert all(line.count(",") == 1 for line in captured.out.splitlines())
+
+
+def test_stream_warns_when_spec_preprocess_is_dropped(streaming_csv,
+                                                      tmp_path, capsys):
+    from repro.api import PipelineSpec
+
+    path = tmp_path / "pre.json"
+    PipelineSpec("EMA", preprocess=[{"kind": "standardize"}]).save(path)
+    code = main([
+        "stream", "--spec", str(path), "--input", str(streaming_csv),
+        "--train", "120", "--window", "48",
+    ])
+    assert code == 0
+    assert "preprocess stages are ignored" in capsys.readouterr().err
+
+
+def test_serve_resume_clamps_drain_to_restored_queue_limit(serve_setup,
+                                                           tmp_path,
+                                                           capsys):
+    """A restored router keeps its saved queue_limit; drain-every must be
+    clamped against THAT, or the resumed session hits QueueFullError
+    before its first drain."""
+    model_path, feed_path, per_stream = serve_setup
+    state = tmp_path / "state"
+    assert main(["serve", "--input", str(feed_path), "--model",
+                 str(model_path), "--window", "32", "--queue-limit", "24",
+                 "--state-dir", str(state)]) == 0
+    capsys.readouterr()
+    # Resume with defaults: --queue-limit 4096, --drain-every 32 > 24.
+    assert main(["serve", "--input", str(feed_path), "--window", "32",
+                 "--state-dir", str(state)]) == 0
+    err = capsys.readouterr().err
+    assert "restored 3 stream(s)" in err
+    # The operator is told the saved configuration governs, and the stats
+    # line reports the ROUTER's window, not this run's flag.
+    assert "RESTORED configuration" in err
+    assert "queue_limit=24" in err
+    assert "window=32" in err
+
+
+def test_serve_restore_takes_model_as_detector_override(serve_setup,
+                                                        tmp_path, capsys):
+    """OCSVM shards save spec-only (fitted state not persistable); a
+    restart with --state-dir alone must fail with the remedy, and passing
+    --train-input as the override must resume."""
+    rng = np.random.default_rng(9)
+    train_path = tmp_path / "train.csv"
+    with open(train_path, "w") as handle:
+        handle.write("value\n")
+        for i in range(150):
+            handle.write("%.6f\n"
+                         % (np.sin(i / 4.0) + 0.05 * rng.standard_normal()))
+    # Single stream so every drain hands OCSVM at least its fit-time
+    # window width (it cannot score shorter series).
+    feed_path = tmp_path / "feed.csv"
+    with open(feed_path, "w") as handle:
+        handle.write("stream,value\n")
+        for i in range(64):
+            handle.write("web,%.6f\n"
+                         % (np.sin(i / 4.0) + 0.05 * rng.standard_normal()))
+    state = tmp_path / "state"
+    ocsvm = ["serve", "--input", str(feed_path), "--method", "OCSVM",
+             "--train-input", str(train_path), "--window", "48",
+             "--state-dir", str(state)]
+    assert main(ocsvm) == 0
+    capsys.readouterr()
+    with pytest.raises(ValueError, match="Pass detector="):
+        main(["serve", "--input", str(feed_path), "--state-dir", str(state)])
+    capsys.readouterr()
+    # The remedy is reachable from the CLI: --train-input is the override.
+    assert main(ocsvm) == 0
+    err = capsys.readouterr().err
+    assert "restored 1 stream(s)" in err
+    assert "scored=128" in err
+
+
+def test_serve_failed_save_on_clean_shutdown_raises(serve_setup, tmp_path):
+    """A clean run whose state save fails must surface the error, not exit
+    0 with the state silently lost."""
+    model_path, feed_path, __ = serve_setup
+    state = tmp_path / "state"
+    state.write_text("not a directory")  # makedirs will fail
+    with pytest.raises(Exception, match="[Nn]ot a directory|exists"):
+        main(["serve", "--input", str(feed_path), "--model",
+              str(model_path), "--window", "32", "--state-dir", str(state)])
+
+
+def test_serve_saves_state_even_when_an_arrival_crashes(serve_setup,
+                                                        tmp_path, capsys):
+    """A mid-stream error (wrong arity arrival) must still persist the
+    state-dir on the way out."""
+    model_path, feed_path, __ = serve_setup
+    bad_feed = tmp_path / "bad.csv"
+    lines = open(feed_path).read().splitlines()
+    bad_feed.write_text("\n".join(lines[:30] + ["web,1.0,2.0"]) + "\n")
+    state = tmp_path / "state"
+    with pytest.raises(ValueError, match="dimensional"):
+        main(["serve", "--input", str(bad_feed), "--model", str(model_path),
+              "--window", "32", "--state-dir", str(state)])
+    assert (state / "router.json").exists()
+    assert "saved router state" in capsys.readouterr().err
+
+
+def test_serve_state_dir_without_default_detector(serve_setup, tmp_path,
+                                                  capsys):
+    """A router built with per-stream detectors only (no default) must
+    restore, serve, print stats, and re-save — not crash on detector.name."""
+    import numpy as np
+
+    from repro.core import load_detector
+    from repro.serve import StreamRouter
+
+    model_path, feed_path, __ = serve_setup
+    det = load_detector(model_path)
+    router = StreamRouter(window=32)
+    for sid in ("web", "db", "cache"):
+        router.add_stream(sid, detector=det)
+    state = tmp_path / "state"
+    router.save(state)
+
+    code = main(["serve", "--input", str(feed_path), "--window", "32",
+                 "--state-dir", str(state)])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "method=per-stream" in err
+    assert "saved router state" in err
+
+
+def test_pipeline_load_refuses_explain_on_new_input(csv_with_header,
+                                                    tmp_path):
+    from repro.api import DetectorSpec, Pipeline, PipelineSpec
+    from repro.cli import read_series_csv
+
+    values, __ = read_series_csv(csv_with_header)
+    pipeline = Pipeline(PipelineSpec(DetectorSpec("RAE",
+                                                  {"max_iterations": 3})))
+    pipeline.fit(values[:, :1])
+    pipeline.save(tmp_path / "m")
+    with pytest.raises(SystemExit, match="fitted on THIS input"):
+        main(["pipeline", "--load", str(tmp_path / "m"),
+              "--input", str(csv_with_header), "--explain"])
+
+
+def test_pipeline_subcommand_scores_and_saves(csv_with_header, spec_path,
+                                              tmp_path, capsys):
+    out_path = tmp_path / "out.csv"
+    code = main([
+        "pipeline", "--spec", str(spec_path), "--input", str(csv_with_header),
+        "--labels-column", "label", "--output", str(out_path),
+        "--save", str(tmp_path / "saved"),
+    ])
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "threshold = " in err and "flagged" in err
+    assert "saved pipeline to" in err
+    assert (tmp_path / "saved.json").exists()
+    content = out_path.read_text().splitlines()
+    assert content[0] == "score,label"
+    assert len(content) == 161
+
+    # Reload the saved pipeline and score with it.
+    code = main([
+        "pipeline", "--load", str(tmp_path / "saved"),
+        "--input", str(csv_with_header), "--labels-column", "label",
+    ])
+    assert code == 0
+    assert "loaded EMA pipeline" in capsys.readouterr().err
+
+
+def test_pipeline_needs_spec_or_load(csv_with_header):
+    with pytest.raises(SystemExit, match="--spec or --load"):
+        main(["pipeline", "--input", str(csv_with_header)])
+
+
+def test_pipeline_explain_rejected_up_front_for_unexplainable(
+        csv_with_header, tmp_path):
+    from repro.api import PipelineSpec
+
+    path = tmp_path / "lof.json"
+    PipelineSpec("LOF").save(path)
+    with pytest.raises(SystemExit, match="explainable detector"):
+        main(["pipeline", "--spec", str(path),
+              "--input", str(csv_with_header), "--explain"])
+
+
+def test_threshold_param_without_threshold_errors(csv_with_header):
+    with pytest.raises(SystemExit, match="needs --threshold"):
+        main(["detect", "--method", "EMA", "--input", str(csv_with_header),
+              "--threshold-param", "4.0"])
+
+
+def test_stream_builds_from_spec(streaming_csv, spec_path, capsys):
+    code = main([
+        "stream", "--spec", str(spec_path), "--input", str(streaming_csv),
+        "--train", "120", "--window", "48",
+    ])
+    assert code == 0
+    assert "method=EMA" in capsys.readouterr().err

@@ -8,9 +8,13 @@ the same series.  The suite is what lets refactors of the scoring paths
 (streaming, batching, warm starts) prove they broke no baseline.
 """
 
+import inspect
+
 import numpy as np
 import pytest
 
+from repro.api import DetectorSpec, Pipeline, PipelineSpec
+from repro.core import load_pipeline
 from repro.eval import available_methods, make_detector
 from repro.stream import StreamScorer
 
@@ -114,3 +118,67 @@ def test_point_by_point_pushes_are_finite(method, series):
         score = scorer.push(point)
         assert isinstance(score, float)
         assert np.isfinite(score)
+
+
+# ------------------------- spec-driven construction ---------------------- #
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_spec_round_trip_is_lossless(method):
+    """Every registry method must round-trip DetectorSpec -> build ->
+    to_spec: the projected spec rebuilds a detector with identical public
+    configuration (the contract persistence and shard recovery rely on)."""
+    spec = DetectorSpec(method, CONTRACT_OVERRIDES.get(method, {}))
+    detector = spec.build()
+    projected = DetectorSpec.from_detector(detector)
+    assert projected.method == method
+    # Explicit overrides survive the projection...
+    for key, value in spec.params.items():
+        assert projected.params[key] == pytest.approx(value)
+    # ...and the rebuild is configuration-identical AND projection-stable.
+    rebuilt = projected.build()
+    assert type(rebuilt) is type(detector)
+    assert DetectorSpec.from_detector(rebuilt) == projected
+    # JSON is a faithful transport.
+    assert DetectorSpec.from_json(projected.to_json()) == projected
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_repr_renders_every_constructor_param(method):
+    """__repr__ must show the full configuration — including params whose
+    value is None or a tuple, which np.isscalar used to drop."""
+    detector = build(method)
+    text = repr(detector)
+    assert text.startswith(type(detector).__name__ + "(")
+    for name in inspect.signature(type(detector).__init__).parameters:
+        if name == "self":
+            continue
+        assert "%s=" % name in text, (
+            "%s.__repr__ omits %r: %s" % (method, name, text)
+        )
+
+
+@pytest.mark.parametrize("method", METHOD_NAMES)
+def test_capabilities_are_declared(method):
+    caps = build(method).capabilities()
+    assert caps  # every detector declares something
+    assert caps <= {"streamable", "warm_startable", "transductive",
+                    "explainable"}
+    # transductive and streamable are mutually exclusive by definition.
+    assert not {"transductive", "streamable"} <= caps
+
+
+@pytest.mark.parametrize("method", ["RAE", "RDAE"])
+def test_saved_pipeline_reproduces_scores_bit_for_bit(method, series,
+                                                      tmp_path):
+    """A saved+restored Pipeline must score a seeded series identically to
+    the pipeline that never left memory — not just close, bit-for-bit."""
+    pipeline = Pipeline(PipelineSpec(
+        DetectorSpec(method, CONTRACT_OVERRIDES[method])
+    ))
+    pipeline.fit(series)
+    reference = pipeline.score(series)
+    pipeline.save(tmp_path / "pipe")
+    restored = load_pipeline(tmp_path / "pipe")
+    assert restored.is_fitted()
+    assert np.array_equal(restored.score(series), reference)
+    assert restored.to_spec().detector == pipeline.to_spec().detector
