@@ -8,7 +8,7 @@ Usage::
     python -m repro pipeline --spec pipeline.json --input series.csv --save model
     python -m repro demo --method RAE
     python -m repro stream --method RAE --input - --train 200 --window 128
-    python -m repro serve --model rae.npz --input - --state-dir state/
+    python -m repro serve --model rae.npz --input - --state-dir state/ --workers 4
 
 ``detect`` reads a CSV whose columns are the series dimensions (an optional
 header row is auto-detected), computes per-observation outlier scores, and
@@ -255,6 +255,12 @@ def build_parser():
                        help="backpressure policy when the queue is full")
     serve.add_argument("--drain-every", type=int, default=32,
                        help="arrivals buffered between scoring drains")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="drain worker threads; >1 selects the "
+                            "'threaded' drain backend (same-detector "
+                            "shard groups scored concurrently — applies "
+                            "to restored routers too, it only changes "
+                            "where forwards run, never their results)")
     serve.add_argument("--output", help="output CSV path (default: stdout)")
     return parser
 
@@ -483,8 +489,15 @@ def _run_serve(args):
               "default detector restores from its own weights (saved "
               "weights always win; start a fresh --state-dir to serve a "
               "new model)", file=sys.stderr)
+    workers = max(int(args.workers), 1)
     if restorable:
-        router = StreamRouter.restore(args.state_dir, detector=override)
+        # --workers is an execution knob (where forwards run), so unlike
+        # the semantic flags it DOES apply to a restored router.
+        router = StreamRouter.restore(
+            args.state_dir, detector=override,
+            drain_backend="threaded" if workers > 1 else "serial",
+            workers=workers,
+        )
         detector = router.detector if router.detector is not None else override
         print("restored %d stream(s) from %s"
               % (len(router), args.state_dir), file=sys.stderr)
@@ -500,6 +513,7 @@ def _run_serve(args):
             window=args.window,
             queue_limit=args.queue_limit,
             on_full=args.on_full.replace("-", "_"),
+            workers=workers,
         )
     else:
         raise SystemExit("serve needs --model or --train-input (or a "
@@ -590,6 +604,7 @@ def _run_serve(args):
                 print("warning: could not save router state: %s" % exc,
                       file=sys.stderr)
         _print_router_stats(router, router.window, detector)
+        router.close()  # stop the threaded backend's workers, if any
     return 0
 
 

@@ -104,6 +104,21 @@ class ConvSeriesAE(nn.Module):
         h = self.decoder_convs(h)
         return self.readout(h)
 
+    def receptive_field(self):
+        """Compose encoder -> upsample -> decoder -> readout.
+
+        ``forward`` calls the upsampling functionally (its ``size=`` is
+        only known at run time), so the composition is spelled out here
+        instead of living in one Sequential; the ``size`` clamp only drops
+        right-edge dependence and cannot widen the cone.  The encoder's
+        max-pool makes the composed period 2: only even window shifts
+        keep the pooling grid, hence cached scores, valid.
+        """
+        field = self.encoder.receptive_field()
+        field = field.then(nn.ReceptiveField.upsample(2))
+        field = field.then(self.decoder_convs.receptive_field())
+        return field.then(self.readout.receptive_field())
+
 
 class ConvMatrixAE(nn.Module):
     """2D-CNN autoencoder over a lagged matrix ``(1, D, B, K)`` (Eqs. 8-9)."""
@@ -219,6 +234,11 @@ class ConvTransform1d(nn.Module):
 
     def forward(self, x):
         return self.net(x)
+
+    def receptive_field(self):
+        # Pure stride-1 convs: a small bounded cone with period 1, so any
+        # window shift keeps cached tail-forward scores splice-able.
+        return self.net.receptive_field()
 
 
 class ConvTransform2d(nn.Module):

@@ -142,6 +142,25 @@ class RAE(BaseDetector):
         """
         return self.model_ is not None and self.clean_ is not None
 
+    def tail_context(self):
+        """Trailing positions a new arrival can influence, or ``None``.
+
+        Derived from the fitted autoencoder's composed
+        :meth:`repro.nn.Module.receptive_field`: scores strictly more than
+        ``tail_context()`` positions before the end of a window are
+        unchanged by appending an observation, which is what lets
+        :class:`repro.core.ScoringSession` re-forward only the window tail
+        per push.  ``None`` means the architecture's dependence is
+        unbounded (the FC ablation) and streaming falls back to full
+        re-forwards.  The bound is conservative (sound, not tight).
+        """
+        if self.model_ is None:
+            raise RuntimeError("fit before reading tail_context")
+        field = self.model_.receptive_field()
+        if not field.bounded:
+            return None
+        return int(field.context())
+
     def score(self, series):
         """Outlier scores ``||s_S_i||_2^2`` (Eq. 13).
 

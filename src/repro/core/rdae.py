@@ -264,6 +264,26 @@ class RDAE(BaseDetector):
         """
         return self.clean_ is not None and getattr(self, "_inner", None) is not None
 
+    def tail_context(self):
+        """Trailing positions a new arrival can influence, or ``None``.
+
+        The streaming path of an f2-bearing RDAE forwards only the outer
+        series transform (see :meth:`score_new`), so the bound comes from
+        ``f2``'s composed receptive field — a few kernel widths.  The
+        f2-less ablations stream through the lagged-matrix view, whose
+        Hankel embedding spreads every arrival across ``window`` columns:
+        no useful bound, so ``None`` (full re-forwards).  The bound is
+        conservative (sound, not tight).
+        """
+        if not self.is_fitted():
+            raise RuntimeError("fit before reading tail_context")
+        if self._f2 is None:
+            return None
+        field = self._f2.receptive_field()
+        if not field.bounded:
+            return None
+        return int(field.context())
+
     def score(self, series):
         """Outlier scores ``||s_S_i||_2^2`` (Eq. 13), with the sub-threshold
         residual as an order-consistent tiebreak among zeroed entries."""

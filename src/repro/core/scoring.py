@@ -7,14 +7,26 @@ recent window and its lagged embedding hot, and only pay for the arrivals:
 
 * :class:`ScoringSession` — per-stream state: a ring buffer of scaled
   observations, an incrementally-maintained lagged matrix for the
-  matrix-view path, and a memoised last forward pass.
+  matrix-view path, and a memoised last forward pass.  For architectures
+  with a bounded receptive field (the conv stacks), a push re-forwards only
+  the window *tail* that the new arrivals can influence — O(receptive
+  field) instead of O(window) — and splices the result into the cached
+  score vector bit-identically to a full re-forward.
 * :func:`batched_score_new` — score many same-length series through one
   forward pass of the fitted autoencoder (the batch axis of the conv stack).
 * :func:`batched_session_scores` — refresh many live sessions at once:
-  sessions that share a detector and window shape are stacked through one
-  forward pass (the sharded-serving drain path of :mod:`repro.serve`).
+  sessions that share a detector and a slice shape are stacked through one
+  forward pass (the sharded-serving drain path of :mod:`repro.serve`);
+  tail-capable sessions contribute bounded slices, not whole windows.
 * :func:`iter_key_batches` — the same-shape grouping used by every batched
   path (here and in :class:`repro.eval.BatchScoringEngine`).
+
+Tail forwards and their bit-identity rest on two facts established at the
+``repro.nn`` layer: every module reports a sound receptive-field cone
+(:meth:`repro.nn.Module.receptive_field`), and serving forwards run under
+:func:`repro.nn.functional.stable_kernels`, whose conv arithmetic is
+independent of the forwarded length (so a slice forward reproduces the
+full forward's bits away from the slice's padded left edge).
 """
 
 from __future__ import annotations
@@ -68,7 +80,7 @@ def iter_key_batches(keys, batch_size):
             yield indices[lo : lo + batch_size]
 
 
-def _forward_scaled_batch(detector, kind, scaled):
+def _forward_scaled_batch(detector, kind, scaled, stable=False):
     """Score an already-scaled ``(M, C, D)`` batch with one forward pass.
 
     The shared core of :func:`batched_score_new`,
@@ -77,12 +89,21 @@ def _forward_scaled_batch(detector, kind, scaled):
     axis, then prox-threshold the residuals into per-observation scores.
     Only the series kinds batch; the lagged-matrix path is handled by its
     callers.
+
+    ``stable=True`` (every :class:`ScoringSession` forward) runs under
+    :func:`repro.nn.functional.stable_kernels`, making each position's
+    arithmetic independent of ``C`` and ``M`` — the precondition for
+    splicing tail-slice forwards into cached full forwards bit-exactly.
     """
     tensor = np.ascontiguousarray(scaled.transpose(0, 2, 1))  # (M, D, C)
     module = detector.model_ if kind == "rae" else detector._f2
     lam = detector.lam if kind == "rae" else detector.lam2
-    with nn.no_grad():
-        recon = module(nn.Tensor(tensor)).data
+    if stable:
+        with nn.no_grad(), nn.functional.stable_kernels():
+            recon = module(nn.Tensor(tensor)).data
+    else:
+        with nn.no_grad():
+            recon = module(nn.Tensor(tensor)).data
     clean = recon.transpose(0, 2, 1)                 # (M, C, D)
     residual = scaled - clean
     outlier = _prox(residual, lam, detector.prox)
@@ -98,6 +119,13 @@ class ScoringSession:
     window: observations retained for scoring context.  Each arrival is
         scored from a forward pass over at most this many points, so the
         per-arrival cost is bounded regardless of stream length.
+    tail_forward: when True (default) and the detector's serving module
+        reports a bounded receptive field, pushes re-forward only the last
+        ``tail_context + chunk`` positions of the window and splice the
+        result into the cached score vector — push cost O(receptive
+        field), not O(window), with scores bit-identical to a full
+        re-forward.  Architectures without a bound (FC ablations, the
+        lagged-matrix path) fall back to full forwards automatically.
 
     The session applies the detector's *training* scaler (the stream is
     assumed to monitor the trained process), keeps scaled observations in a
@@ -105,15 +133,32 @@ class ScoringSession:
     maintains the Hankel embedding incrementally via :class:`SlidingLagged`
     instead of re-embedding the window per arrival.
 
-    For the series paths (RAE, RDAE-with-f2) results match ``score_new`` on
-    the window content exactly.  The matrix path fixes its lag from the
-    window *capacity* (that is what makes incremental updates possible), so
-    it matches ``score_new`` exactly once the ring holds a full window;
-    while it is still filling, ``score_new``'s content-length-based lag
-    clamp can pick a smaller lag and the scores differ slightly.
+    For the series paths (RAE, RDAE-with-f2) results agree with
+    ``score_new`` on the window content to floating-point tolerance: the
+    session's forwards run under :func:`repro.nn.functional.stable_kernels`
+    (whose conv reduction order differs from the stateless path's by
+    ~1 ulp) so that *within* the session, tail forwards, splices and full
+    re-forwards are mutually bit-identical.  The matrix path fixes its lag
+    from the window *capacity* (that is what makes incremental updates
+    possible), so it matches ``score_new`` once the ring holds a full
+    window; while it is still filling, ``score_new``'s
+    content-length-based lag clamp can pick a smaller lag and the scores
+    differ slightly.
+
+    Tail-forward mechanics (series kinds).  The composed receptive field
+    gives three numbers: a lookback/lookahead margin pair (positions a
+    slice's padded edges can pollute) and a *period* (the pooling-grid
+    quantum: only window shifts that are period multiples keep cached
+    positions valid — 2 for the pooled conv RAE, 1 for RDAE's ``f2``).
+    The cache is anchored at the forward that produced it; a push whose
+    cumulative shift since the anchor is period-aligned refreshes the whole
+    cache from a head slice + shifted interior + tail slice, and a
+    misaligned push answers from a standalone aligned tail slice while the
+    anchor waits (at most ``period`` pushes) for alignment.  Either way a
+    push forwards O(receptive field + chunk) positions, never O(window).
     """
 
-    def __init__(self, detector, window=256):
+    def __init__(self, detector, window=256, tail_forward=True):
         self.kind = _check_fitted(detector)
         self.detector = detector
         self.window = int(window)
@@ -129,9 +174,26 @@ class ScoringSession:
             self._lagged = SlidingLagged(
                 self._lag, self.dims, max_columns=self.window - self._lag + 1
             )
-        # Memoised forward state: (arrivals seen when computed, scores).
+        # Receptive-field metadata for the tail-forward path (None when the
+        # architecture is unbounded or the caller disabled it).
+        self._field = None
+        if tail_forward and self.kind in ("rae", "rdae_series"):
+            module = detector.model_ if self.kind == "rae" else detector._f2
+            field = module.receptive_field()
+            if field.bounded:
+                self._field = field
+                self._period = field.period_int
+                # The same margins tail_context() is derived from (see
+                # ReceptiveField.margins), so the tested public bound and
+                # the splice exclusion zones cannot drift apart.
+                self._lb, self._ra = field.margins()
+        # Memoised forward state: the full-window score vector as of
+        # `_cache_total` arrivals (the splice anchor), plus a standalone
+        # tail memo serving pushes whose shift is not yet period-aligned.
         self._cache_total = -1
         self._cache_scores = np.zeros(0)
+        self._tail_total = -1
+        self._tail_scores = np.zeros(0)
 
     def __len__(self):
         return len(self._ring)
@@ -140,6 +202,11 @@ class ScoringSession:
     def total(self):
         """Observations ever ingested."""
         return self._ring.total
+
+    @property
+    def tail_supported(self):
+        """Whether pushes use receptive-field-bounded tail forwards."""
+        return self._field is not None
 
     def _ingest(self, points, bulk=False):
         raw = np.asarray(points, dtype=np.float64)
@@ -169,7 +236,7 @@ class ScoringSession:
         self._ingest(history, bulk=True)
         return self
 
-    def load_state(self, window, total):
+    def load_state(self, window, total, cache_scores=None, cache_total=None):
         """Restore the exact retained state of a live session.
 
         ``window`` holds the *scaled* rows a live session's ring retained
@@ -178,12 +245,22 @@ class ScoringSession:
         rebuilt from the retained rows, so the next ``scores()`` call is
         bit-identical to the session that never stopped.  Used by
         :meth:`repro.stream.StreamScorer.load_state_dict` (shard recovery).
+
+        ``cache_scores``/``cache_total`` optionally restore the splice
+        cache, so a restored session resumes tail forwards immediately
+        instead of paying one full re-anchor forward; omitted (old saves),
+        the first refresh recomputes it — same bits, one full forward.
         """
         self._ring.load(window, total)
         if self._lagged is not None:
             self._lagged.rebuild(np.asarray(self._ring.view()))
         self._cache_total = -1
         self._cache_scores = np.zeros(0)
+        self._tail_total = -1
+        self._tail_scores = np.zeros(0)
+        if cache_scores is not None and cache_total is not None:
+            self._cache_scores = np.asarray(cache_scores, dtype=np.float64).copy()
+            self._cache_total = int(cache_total)
         return self
 
     def ingest(self, points):
@@ -201,7 +278,7 @@ class ScoringSession:
         """Scores of the scaled window ``arr`` via the detector's warm path."""
         det = self.detector
         if self.kind != "rdae_matrix":
-            return _forward_scaled_batch(det, self.kind, arr[None])[0]
+            return _forward_scaled_batch(det, self.kind, arr[None], stable=True)[0]
         residual = np.zeros_like(arr)
         lam = det.lam2
         with nn.no_grad():
@@ -219,32 +296,192 @@ class ScoringSession:
         outlier = _prox(residual, lam, det.prox)
         return (outlier**2).sum(axis=1) + 1e-9 * (residual**2).sum(axis=1)
 
+    # ------------------------------------------------------------------ #
+    # refresh planning — shared by the solo paths and the batched drain
+    #
+    # A "plan" is a (kind, data) pair describing how to bring the memos up
+    # to date; _plan_slices names the ring slices it must forward, _apply
+    # installs the results.  batched_session_scores runs the same three
+    # stages but stacks same-shape slices from many sessions through one
+    # grouped forward pass.
+
+    def _align_down(self, position):
+        """Largest period multiple <= position (never below 0)."""
+        return max(0, (int(position) // self._period) * self._period)
+
+    def _plan(self, want=None):
+        """Decide how to refresh: ``(kind, data)``.
+
+        * ``("fresh", None)`` — memo already current.
+        * ``("zeros", None)`` — window below the 2-point scoring minimum.
+        * ``("solo", None)`` — lagged-matrix path; needs its own forward.
+        * ``("full", None)`` — full-window forward required.
+        * ``("splice", (head, head_len, shift, cut, start))`` — the shift
+          since the cache anchor is period-aligned: recompute the first
+          ``head`` positions from a ``[0, head_len)`` slice (left edge
+          moved), reuse ``cache[j + shift]`` for ``j in [head, cut)``, and
+          recompute ``[cut, size)`` from an aligned ``[start, size)`` tail
+          slice.
+        * ``("tail", start)`` — misaligned shift but only the last ``want``
+          scores are needed: one aligned ``[start, size)`` slice answers
+          them exactly while the cache anchor waits for alignment.
+        """
+        total = self._ring.total
+        if total == self._cache_total:
+            return ("fresh", None)
+        size = len(self._ring)
+        if size < 2:
+            return ("zeros", None)
+        if self.kind == "rdae_matrix":
+            return ("solo", None)
+        if self._field is None:
+            return ("full", None)
+        splice = None
+        cache_size = self._cache_scores.shape[0]
+        # A cache of fewer than 2 rows is the warmup-zeros convention, not
+        # forward output — never splice from it.
+        if self._cache_total >= 0 and cache_size >= 2:
+            since = total - self._cache_total
+            shift = cache_size + since - size  # evictions since the anchor
+            if shift >= 0 and shift % self._period == 0:
+                head = self._lb if shift else 0
+                cut = size - since - self._ra
+                start = self._align_down(cut - self._lb)
+                head_len = min(head + self._ra, size)
+                if (head < cut and start >= self._period
+                        and (not head or head_len >= head + self._ra)):
+                    splice = ("splice", (head, head_len, shift, cut, start))
+        if want is not None:
+            first = size - min(int(want), size)
+            start = self._align_down(first - self._lb)
+            if start >= self._period:
+                # A caller that only needs trailing scores gets whichever
+                # costs fewer forwarded positions: the standalone tail
+                # slice, or the cache-refreshing splice.  (The cache anchor
+                # can lag arbitrarily behind — standalone tails have
+                # constant cost, and scores() re-anchors on demand.)
+                if splice is not None:
+                    head, head_len, __, ___, sp_start = splice[1]
+                    splice_cost = (size - sp_start) + (head_len if head else 0)
+                    if splice_cost <= size - start:
+                        return splice
+                return ("tail", start)
+        if splice is not None:
+            return splice
+        return ("full", None)
+
+    def _plan_slices(self, plan):
+        """The ``[lo, hi)`` ring slices a plan needs forwarded, in order."""
+        kind, data = plan
+        size = len(self._ring)
+        if kind == "splice":
+            head, head_len, __, ___, start = data
+            slices = [(start, size)]
+            if head:
+                slices.append((0, head_len))
+            return slices
+        if kind == "tail":
+            return [(data, size)]
+        if kind == "full":
+            return [(0, size)]
+        return []
+
+    def _apply(self, plan, forwards):
+        """Install the forwarded slice scores per the plan."""
+        kind, data = plan
+        size = len(self._ring)
+        if kind == "full":
+            self._install_cache(forwards[0])
+        elif kind == "splice":
+            head, __, shift, cut, start = data
+            refreshed = np.empty(size)
+            if head:
+                refreshed[:head] = forwards[1][:head]
+            refreshed[head:cut] = self._cache_scores[head + shift : cut + shift]
+            refreshed[cut:] = forwards[0][cut - start :]
+            self._install_cache(refreshed)
+        elif kind == "tail":
+            # Only positions >= lookback margin of the slice are exact.
+            self._tail_scores = forwards[0][self._lb :]
+            self._tail_total = self._ring.total
+
+    def _install_cache(self, scores):
+        self._cache_scores = scores
+        self._cache_total = self._ring.total
+
+    def _slice_forward(self, lo, hi):
+        """Exact scores of window rows ``[lo, hi)`` via one stable forward."""
+        view = np.asarray(self._ring.view())
+        return _forward_scaled_batch(
+            self.detector, self.kind, view[lo:hi][None], stable=True
+        )[0]
+
+    def _run_plan(self, plan):
+        """Execute a plan solo (the batched drain distributes this work)."""
+        kind = plan[0]
+        if kind == "fresh":
+            return
+        if kind == "zeros":
+            self._install_cache(np.zeros(len(self._ring)))
+            return
+        if kind == "solo":
+            self._install_cache(self._forward(np.asarray(self._ring.view())))
+            return
+        forwards = [self._slice_forward(lo, hi)
+                    for lo, hi in self._plan_slices(plan)]
+        self._apply(plan, forwards)
+
+    # ------------------------------------------------------------------ #
     def scores(self):
-        """Scores of every observation in the current window."""
+        """Scores of every observation in the current window.
+
+        Refreshes the memo if stale — through the aligned splice path when
+        the receptive field allows it, a full forward otherwise — so the
+        returned vector always equals a from-scratch full re-forward of the
+        retained window, bit for bit.
+        """
         if self._ring.total != self._cache_total:
-            size = len(self._ring)
-            if size < 2:
-                self._cache_scores = np.zeros(size)
-            else:
-                self._cache_scores = self._forward(np.asarray(self._ring.view()))
-            self._cache_total = self._ring.total
+            plan = self._plan()
+            self._run_plan(plan)
         return self._cache_scores
+
+    def last_scores(self, count):
+        """Exact scores of the last ``min(count, len(self))`` positions.
+
+        Bit-identical to ``scores()[-count:]`` but never forwards more
+        than O(receptive field + count) positions on the tail path — this
+        is what :meth:`extend`, :meth:`push` and the serve drains read.
+        """
+        size = len(self._ring)
+        count = min(int(count), size)
+        if count <= 0:
+            return np.zeros(0)
+        total = self._ring.total
+        if total == self._cache_total:
+            return self._cache_scores[size - count :]
+        if total == self._tail_total and self._tail_scores.shape[0] >= count:
+            return self._tail_scores[self._tail_scores.shape[0] - count :]
+        plan = self._plan(want=count)
+        self._run_plan(plan)
+        if plan[0] == "tail":
+            return self._tail_scores[self._tail_scores.shape[0] - count :]
+        return self._cache_scores[len(self._ring) - count :]
 
     def extend(self, points):
         """Ingest a chunk and return one score per ingested point.
 
-        The chunk is scored with a single forward pass over the updated
-        window (micro-batching); with chunks of size one this is exactly
+        The chunk is scored with a single tail (or, when the architecture
+        is unbounded, full) forward pass over the updated window
+        (micro-batching); with chunks of size one this is exactly
         per-arrival scoring.  Chunk points that overflow the window are
         evicted before scoring and reported as 0.0 (the warmup convention)
         — the seeding idiom; keep live chunks within the window size.
         """
         n = self._ingest(points)
-        window_scores = self.scores()
+        tail = self.last_scores(n)
         out = np.zeros(n)
-        tail = min(n, window_scores.shape[0])
-        if tail:
-            out[n - tail:] = window_scores[window_scores.shape[0] - tail:]
+        if tail.shape[0]:
+            out[n - tail.shape[0] :] = tail
         return out
 
     def push(self, point):
@@ -277,40 +514,83 @@ def batched_score_new(detector, series_batch):
     return _forward_scaled_batch(detector, kind, scaled)
 
 
-def batched_session_scores(sessions, batch_size=32):
-    """Refresh many sessions' window scores with as few forwards as possible.
+def batched_session_scores(sessions, batch_size=32, tail=None):
+    """Refresh many sessions' scores with as few forwards as possible.
 
     The sharded-serving drain path: after a burst of arrivals has been
     ingested into many :class:`ScoringSession` shards (via :meth:`ingest`),
-    stale sessions that share a detector and a window shape are stacked
-    through **one** forward pass per group instead of one per shard.  Each
-    refreshed result is installed into the session's memo, so subsequent
-    ``scores()`` reads are free.  Sessions on the lagged-matrix path (whose
-    embedding geometry is per-session) and still-warming sessions fall back
-    to their solo path.
+    each stale session contributes the ring slices its refresh plan needs —
+    a bounded head/tail pair for tail-capable sessions, the whole window
+    otherwise — and slices that share a detector, kind and length are
+    stacked through **one** forward pass per group instead of one per
+    shard.  Results are installed into each session's memo, so subsequent
+    ``scores()``/``last_scores()`` reads are free.  Sessions on the
+    lagged-matrix path (whose embedding geometry is per-session) and
+    still-warming sessions fall back to their solo path.
 
-    Returns the list of per-session window scores, in input order.
+    Parameters
+    ----------
+    tail: optional list of per-session trailing-score counts (one per
+        session, the drain's chunk sizes).  When given, the return value is
+        each session's ``last_scores(n)`` — which lets sessions whose cache
+        anchor is misaligned serve the drain from a bounded standalone tail
+        slice instead of paying a full-window forward.  When ``None``, the
+        full window score vectors are returned, exactly as before.
+
+    Returns the per-session arrays in input order.
     """
     sessions = list(sessions)
-    batchable = []
-    for session in sessions:
-        if (
-            session._ring.total != session._cache_total
-            and session.kind != "rdae_matrix"
-            and len(session._ring) >= 2
-        ):
-            batchable.append(session)
-        else:
-            session.scores()  # solo path: memo hit, zeros, or lagged forward
-    keys = [
-        (id(session.detector), session.kind, len(session._ring))
-        for session in batchable
-    ]
-    for indices in iter_key_batches(keys, batch_size):
-        group = [batchable[i] for i in indices]
-        batch = np.stack([np.asarray(s._ring.view()) for s in group])
-        scores = _forward_scaled_batch(group[0].detector, group[0].kind, batch)
-        for row, session in enumerate(group):
-            session._cache_scores = scores[row]
-            session._cache_total = session._ring.total
-    return [session.scores() for session in sessions]
+    if tail is None:
+        wants = [None] * len(sessions)
+    else:
+        wants = [int(n) for n in tail]
+        if len(wants) != len(sessions):
+            raise ValueError("tail must name one count per session")
+    # Plan each session OBJECT once, even when the caller lists it several
+    # times: plans are computed from pre-refresh state, so applying a
+    # splice twice to the same object would re-shift the already-refreshed
+    # cache.  Duplicates are served from the memos the single refresh
+    # installs (a larger duplicate `want` covers the smaller ones).
+    unique, order = {}, []
+    for session, want in zip(sessions, wants):
+        key = id(session)
+        if key not in unique:
+            unique[key] = [session, want]
+            order.append(key)
+        elif want is not None and want > unique[key][1]:
+            unique[key][1] = want
+    work = [unique[key] for key in order]
+    plans = [session._plan(want=want) for session, want in work]
+    jobs = []  # (work index, slice index within its plan, lo, hi)
+    for index, ((session, __), plan) in enumerate(zip(work, plans)):
+        if plan[0] in ("zeros", "solo"):
+            session._run_plan(plan)  # cheap, or per-session lagged geometry
+            continue
+        for j, (lo, hi) in enumerate(session._plan_slices(plan)):
+            jobs.append((index, j, lo, hi))
+    if jobs:
+        keys = [(id(work[i][0].detector), work[i][0].kind, hi - lo)
+                for i, __, lo, hi in jobs]
+        forwards = {}
+        for indices in iter_key_batches(keys, batch_size):
+            group = [jobs[g] for g in indices]
+            batch = np.stack([
+                np.asarray(work[i][0]._ring.view())[lo:hi]
+                for i, __, lo, hi in group
+            ])
+            leader = work[group[0][0]][0]
+            scores = _forward_scaled_batch(
+                leader.detector, leader.kind, batch, stable=True
+            )
+            for row, (i, j, __, ___) in enumerate(group):
+                forwards[(i, j)] = scores[row]
+        for index in sorted({i for i, *__ in jobs}):
+            plan = plans[index]
+            count = len(work[index][0]._plan_slices(plan))
+            work[index][0]._apply(
+                plan, [forwards[(index, j)] for j in range(count)]
+            )
+    if tail is None:
+        return [session.scores() for session in sessions]
+    return [session.last_scores(want)
+            for session, want in zip(sessions, wants)]

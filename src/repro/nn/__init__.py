@@ -34,6 +34,7 @@ from .losses import (
     mse_loss,
 )
 from .optim import SGD, Adam, clip_grad_norm
+from .receptive import UNBOUNDED, ReceptiveField
 from .recurrent import LSTM, LSTMCell
 from .tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
 
@@ -46,6 +47,8 @@ __all__ = [
     "is_grad_enabled",
     "seed",
     "functional",
+    "ReceptiveField",
+    "UNBOUNDED",
     "Module",
     "Parameter",
     "Linear",

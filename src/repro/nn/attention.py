@@ -16,6 +16,10 @@ class MultiHeadAttention(Module):
 
     Operates on ``(N, T, d_model)``; ``d_model`` must be divisible by the
     number of heads.
+
+    Attention mixes all positions (and positional encodings pin values to
+    absolute offsets), so every module in this file keeps the inherited
+    :data:`repro.nn.receptive.UNBOUNDED` receptive field.
     """
 
     def __init__(self, d_model, num_heads, rng=None):

@@ -8,6 +8,8 @@ gradients back with ``np.add.at``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
@@ -24,7 +26,53 @@ __all__ = [
     "upsample2d",
     "softmax",
     "dropout",
+    "stable_kernels",
+    "stable_kernels_active",
 ]
+
+# --------------------------------------------------------------------- #
+# Shape-stable kernel mode.
+#
+# The default conv1d forward dispatches through `einsum(..., optimize=True)`,
+# whose BLAS-backed inner kernels round the last few output positions
+# differently depending on the *length* of the input (tail-block handling).
+# That is invisible to training, but the receptive-field-bounded tail
+# forwards of repro.core.scoring splice slice forwards into cached full
+# forwards and promise bit-identical results — which requires every output
+# position's arithmetic to be independent of how long the forwarded array
+# happens to be.  `stable_kernels()` switches conv1d to a per-tap
+# accumulation with a fixed reduction order (~1.6x slower, still
+# vectorised); serving paths enter it around their forwards, training
+# never pays for it.
+#
+# The flag is thread-local (like grad mode in .tensor): every serving
+# forward enters the context on the thread that runs it — including the
+# threaded drain backend's workers, which each call the forward helper
+# themselves — while a fit training concurrently on another thread keeps
+# the default kernels.  The stable branch rounds differently (that is the
+# point), so leaking it into a fit would make training results depend on
+# drain timing and break fixed-seed determinism.
+
+_STABLE_STATE = threading.local()
+
+
+class stable_kernels:
+    """Context manager: length-stable conv arithmetic (serving forwards).
+
+    Re-entrant and per-thread."""
+
+    def __enter__(self):
+        _STABLE_STATE.depth = getattr(_STABLE_STATE, "depth", 0) + 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _STABLE_STATE.depth -= 1
+        return False
+
+
+def stable_kernels_active():
+    """Whether conv kernels are in length-stable mode on this thread."""
+    return getattr(_STABLE_STATE, "depth", 0) > 0
 
 
 def pad1d(x, padding):
@@ -32,7 +80,11 @@ def pad1d(x, padding):
     x = as_tensor(x)
     if padding == 0:
         return x
-    out_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)))
+    n, c, length = x.data.shape
+    # Hand-rolled instead of np.pad: this runs per conv call on the serving
+    # hot path, where np.pad's argument normalisation dominates small inputs.
+    out_data = np.zeros((n, c, length + 2 * padding))
+    out_data[:, :, padding : padding + length] = x.data
 
     def backward(grad):
         if x.requires_grad:
@@ -74,8 +126,24 @@ def conv1d(x, weight, bias=None, padding=0):
         raise ValueError("channel mismatch: %d vs %d" % (c_in, c_in_w))
     if length < k:
         raise ValueError("input length %d shorter than kernel %d" % (length, k))
-    cols = sliding_window_view(x.data, k, axis=2)  # (N, C_in, L_out, K)
-    out_data = np.einsum("nclk,fck->nfl", cols, weight.data, optimize=True)
+    if stable_kernels_active():
+        # Fixed-order accumulation: one unoptimised einsum per kernel tap,
+        # summed tap-by-tap.  Every output position sees the exact same
+        # floating-point operation sequence regardless of L, which is what
+        # lets a tail-slice forward reproduce a full forward bit-for-bit.
+        l_out = length - k + 1
+        out_data = None
+        for tap in range(k):
+            contrib = np.einsum(
+                "fc,ncl->nfl",
+                weight.data[:, :, tap],
+                x.data[:, :, tap : tap + l_out],
+                optimize=False,
+            )
+            out_data = contrib if out_data is None else out_data + contrib
+    else:
+        cols = sliding_window_view(x.data, k, axis=2)  # (N, C_in, L_out, K)
+        out_data = np.einsum("nclk,fck->nfl", cols, weight.data, optimize=True)
     if bias is not None:
         bias = as_tensor(bias)
         out_data = out_data + bias.data[None, :, None]
@@ -85,6 +153,7 @@ def conv1d(x, weight, bias=None, padding=0):
     def backward(grad):
         # grad: (N, C_out, L_out)
         if weight.requires_grad:
+            cols = sliding_window_view(x.data, k, axis=2)  # (N, C_in, L_out, K)
             gw = np.einsum("nfl,nclk->fck", grad, cols, optimize=True)
             weight._accumulate(gw)
         if bias is not None and bias.requires_grad:

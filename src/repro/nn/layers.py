@@ -12,6 +12,7 @@ import numpy as np
 
 from . import functional as F
 from .init import default_rng, xavier_uniform
+from .receptive import UNBOUNDED, ReceptiveField
 from .tensor import Tensor
 
 __all__ = [
@@ -53,6 +54,18 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def receptive_field(self):
+        """This module's time-axis dependence cone (see :mod:`.receptive`).
+
+        The base class answers :data:`repro.nn.receptive.UNBOUNDED` — the
+        only sound default for an arbitrary ``forward``.  Structured
+        primitives override with exact extents, and
+        :class:`Sequential` composes its children, which is what lets
+        :mod:`repro.core.scoring` bound how far a new arrival's influence
+        reaches back into a window.
+        """
+        return UNBOUNDED
 
     def parameters(self):
         """Yield all Parameters of this module and its sub-modules."""
@@ -130,6 +143,12 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def receptive_field(self):
+        """Dense-over-time: callers flatten time into the feature axis
+        (see :class:`repro.core.autoencoders.FCSeriesAE`), so a Linear
+        layer's outputs may depend on arbitrarily distant positions."""
+        return UNBOUNDED
+
 
 class Conv1d(Module):
     """1D convolution over ``(N, C_in, L)`` with 'same' or explicit padding."""
@@ -151,6 +170,9 @@ class Conv1d(Module):
 
     def forward(self, x):
         return F.conv1d(x, self.weight, self.bias, padding=self.padding)
+
+    def receptive_field(self):
+        return ReceptiveField.conv(self.weight.shape[2], self.padding)
 
 
 class Conv2d(Module):
@@ -186,6 +208,9 @@ class MaxPool1d(Module):
     def forward(self, x):
         return F.max_pool1d(x, self.kernel)
 
+    def receptive_field(self):
+        return ReceptiveField.pool(self.kernel)
+
 
 class MaxPool2d(Module):
     def __init__(self, kernel=2):
@@ -205,6 +230,11 @@ class Upsample1d(Module):
     def forward(self, x):
         return F.upsample1d(x, self.factor, self.size)
 
+    def receptive_field(self):
+        # The `size` clamp only ever *drops* dependence at the right edge,
+        # so the factor-only cone stays a sound over-approximation.
+        return ReceptiveField.upsample(self.factor)
+
 
 class Upsample2d(Module):
     def __init__(self, factor=2, size=None):
@@ -216,22 +246,29 @@ class Upsample2d(Module):
         return F.upsample2d(x, self.factor, self.size)
 
 
-class ReLU(Module):
+class _Pointwise(Module):
+    """Base for elementwise modules: their time cone is the identity."""
+
+    def receptive_field(self):
+        return ReceptiveField.pointwise()
+
+
+class ReLU(_Pointwise):
     def forward(self, x):
         return x.relu()
 
 
-class Tanh(Module):
+class Tanh(_Pointwise):
     def forward(self, x):
         return x.tanh()
 
 
-class Sigmoid(Module):
+class Sigmoid(_Pointwise):
     def forward(self, x):
         return x.sigmoid()
 
 
-class LeakyReLU(Module):
+class LeakyReLU(_Pointwise):
     def __init__(self, slope=0.01):
         super().__init__()
         self.slope = slope
@@ -240,7 +277,7 @@ class LeakyReLU(Module):
         return x.leaky_relu(self.slope)
 
 
-class Identity(Module):
+class Identity(_Pointwise):
     def forward(self, x):
         return x
 
@@ -266,8 +303,18 @@ class Sequential(Module):
     def __getitem__(self, index):
         return self.modules[index]
 
+    def receptive_field(self):
+        """Compose the children's cones in execution order; one unbounded
+        stage makes the whole chain unbounded."""
+        field = ReceptiveField.pointwise()
+        for module in self.modules:
+            field = field.then(module.receptive_field())
+            if not field.bounded:
+                break
+        return field
 
-class Dropout(Module):
+
+class Dropout(_Pointwise):
     def __init__(self, p=0.5, rng=None):
         super().__init__()
         self.p = p
@@ -292,3 +339,8 @@ class LayerNorm(Module):
         var = (centred * centred).mean(axis=-1, keepdims=True)
         normed = centred / (var + self.eps).sqrt()
         return normed * self.gamma + self.beta
+
+    def receptive_field(self):
+        """Normalises over the last axis — the time axis for ``(N, C, L)``
+        conv tensors — so every output depends on the whole window."""
+        return UNBOUNDED

@@ -21,6 +21,10 @@ class LSTMCell(Module):
     Gate layout in the fused matrices is ``[input, forget, cell, output]``.
     The forget-gate bias is initialised to 1, the standard trick that keeps
     memory alive early in training.
+
+    Recurrent state threads information from every earlier step, so the
+    time-axis receptive field is :data:`repro.nn.receptive.UNBOUNDED`
+    (the inherited :meth:`Module.receptive_field` answer).
     """
 
     def __init__(self, input_size, hidden_size, rng=None):

@@ -13,31 +13,38 @@ differences in ``tests/nn/test_autograd.py``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 __all__ = ["Tensor", "as_tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread: the threaded drain backend of repro.serve runs
+# inference under ``no_grad`` from worker threads, which must never toggle
+# graph construction for a fit running concurrently on another thread.
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
-    """Context manager that disables graph construction (like torch.no_grad)."""
+    """Context manager that disables graph construction (like torch.no_grad).
+
+    The flag is thread-local, so entering/exiting on one thread leaves every
+    other thread's grad mode untouched.
+    """
 
     def __enter__(self):
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
         return False
 
 
 def is_grad_enabled():
-    """Return True when operations record the autograd graph."""
-    return _GRAD_ENABLED
+    """Return True when operations record the autograd graph (this thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad, shape):
@@ -79,9 +86,9 @@ class Tensor:
     def __init__(self, data, requires_grad=False, _prev=()):
         self.data = np.asarray(data, dtype=np.float64)
         self.grad = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward = None
-        self._prev = tuple(_prev) if _GRAD_ENABLED else ()
+        self._prev = tuple(_prev) if is_grad_enabled() else ()
 
     # ------------------------------------------------------------------ #
     # basic introspection
@@ -124,7 +131,7 @@ class Tensor:
     @staticmethod
     def _make(data, parents, backward):
         """Create a graph node from ``parents`` with backward closure."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward

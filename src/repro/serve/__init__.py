@@ -4,9 +4,14 @@ The serving layer over the streaming subsystem: :class:`StreamRouter` keys
 one :class:`repro.stream.StreamScorer` shard per named stream, buffers
 arrivals in a bounded ingestion queue, and drains bursts as micro-batches —
 shards that share a fitted RAE/RDAE are refreshed through one grouped
-forward pass per drain (:func:`repro.core.batched_session_scores`).  The
-``repro serve`` CLI subcommand speaks a ``stream_id,value...`` line
-protocol over the same router.
+forward pass per drain (:func:`repro.core.batched_session_scores`), each
+contributing only the receptive-field-bounded window tail its arrivals can
+change.  ``submit``/``stats`` are thread-safe, and drains come in two
+backends — ``serial`` and ``threaded`` (same-detector shard groups scored
+concurrently on a worker pool; see the :mod:`.router` concurrency
+contract).  The ``repro serve`` CLI subcommand speaks a
+``stream_id,value...`` line protocol over the same router
+(``--workers N`` selects the threaded backend).
 """
 
 from .router import DrainError, QueueFullError, StreamRouter

@@ -10,20 +10,39 @@ queue that decouples *arrival* from *scoring*:
   forward pass; the queue is the backpressure boundary (see ``on_full``).
 * ``drain`` pops the queued burst, ingests each stream's pending points as
   one micro-batch, and refreshes every session-backed shard that shares a
-  fitted detector and window shape through **one** grouped forward pass
+  fitted detector and a slice shape through **one** grouped forward pass
   (:func:`repro.core.batched_session_scores`) — with ``S`` same-detector
-  shards, a drain pays ~1 forward instead of ``S``.
+  shards, a drain pays ~1 forward instead of ``S``.  Shards whose fitted
+  architecture reports a bounded receptive field contribute only window
+  *tails* to those forwards (O(receptive field) per shard, not O(window)).
 
 Per-stream scores are identical (to floating-point batching tolerance) to a
 dedicated :class:`StreamScorer` fed the same chunks: the router runs the
 scorer's own staged chunk protocol, it only reorganises *when* the forward
 passes happen.
+
+Concurrency contract
+--------------------
+
+``submit``/``submit_many``/``add_stream`` are thread-safe: queue and
+per-stream counter mutation happens under one internal lock, so any number
+of producer threads may feed the router while another thread drains.
+``stats``/``stream_stats`` take the same lock once and return a consistent
+snapshot (counters never tear mid-drain).  ``drain`` itself is serialised —
+concurrent calls queue up on a drain lock so per-stream chunk ordering is
+preserved — and parallelism *within* a drain comes from the ``threaded``
+backend: ``StreamRouter(drain_backend="threaded", workers=4)`` partitions
+the burst into same-detector shard groups (the unit that shares grouped
+forwards) and scores the groups concurrently on a worker pool, which
+overlaps independent detectors' NumPy/BLAS work.  ``save``/``restore``
+must not race an active ``drain`` of the same router.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import deque
 
 import numpy as np
@@ -74,11 +93,18 @@ class StreamRouter:
         must drain; ``'drop_oldest'`` evicts the oldest queued arrival to
         make room and counts it against its stream's ``dropped`` stat.
     batch_size: maximum shards stacked into one grouped forward per drain.
+    drain_backend: ``'serial'`` (default — score the burst on the calling
+        thread, today's behaviour) or ``'threaded'`` (score same-detector
+        shard groups concurrently on a worker pool; useful when shards
+        serve *independent* detectors, whose forwards cannot share a
+        grouped pass).  ``None`` picks ``'threaded'`` when ``workers > 1``.
+    workers: worker-pool size for the threaded backend (default 4 when
+        ``drain_backend='threaded'``; ignored by ``'serial'``).
     """
 
     def __init__(self, detector=None, *, window=256, min_points=2,
                  mode="auto", queue_limit=1024, batch_size=32,
-                 on_full="error"):
+                 on_full="error", drain_backend=None, workers=None):
         if detector is not None:
             from ..api import as_detector
 
@@ -98,6 +124,20 @@ class StreamRouter:
             )
         self.on_full = on_full
         self.batch_size = max(int(batch_size), 1)
+        if drain_backend is None:
+            drain_backend = (
+                "threaded" if workers is not None and int(workers) > 1
+                else "serial"
+            )
+        if drain_backend not in ("serial", "threaded"):
+            raise ValueError(
+                "drain_backend must be 'serial' or 'threaded', got %r"
+                % (drain_backend,)
+            )
+        self.drain_backend = drain_backend
+        if workers is None:
+            workers = 4 if drain_backend == "threaded" else 1
+        self.workers = max(int(workers), 1)
         self._shards = {}
         self._dims = {}  # per-stream row width, fixed by the first arrival
         self._queue = deque()
@@ -105,35 +145,47 @@ class StreamRouter:
         self._scored = {}
         self._dropped = {}
         self._drains = 0
+        # _lock guards the queue, counters and shard registry (submit-side
+        # state); _drain_lock serialises whole drains.  Lock order: a drain
+        # takes _drain_lock first, then _lock for queue/counter mutation.
+        self._lock = threading.RLock()
+        self._drain_lock = threading.Lock()
+        self._pool = None  # lazily-built worker pool (threaded backend)
 
     # ------------------------------------------------------------------ #
     # stream management
     def add_stream(self, stream_id, detector=None, *, window=None,
                    min_points=None, mode=None):
-        """Create a shard for ``stream_id``; returns its scorer."""
-        if stream_id in self._shards:
-            raise ValueError("stream %r already exists" % (stream_id,))
+        """Create a shard for ``stream_id``; returns its scorer.
+
+        Thread-safe: shard registration happens under the router lock, so
+        concurrent producers racing to create the same stream see exactly
+        one winner (the loser gets the usual ``ValueError``).
+        """
         if detector is not None:
             from ..api import as_detector
 
             detector = as_detector(detector)
-        detector = detector if detector is not None else self.detector
-        if detector is None:
-            raise ValueError(
-                "no detector for stream %r: pass one here or give the "
-                "router a default" % (stream_id,)
+        with self._lock:
+            if stream_id in self._shards:
+                raise ValueError("stream %r already exists" % (stream_id,))
+            detector = detector if detector is not None else self.detector
+            if detector is None:
+                raise ValueError(
+                    "no detector for stream %r: pass one here or give the "
+                    "router a default" % (stream_id,)
+                )
+            scorer = StreamScorer(
+                detector,
+                window=self.window if window is None else window,
+                min_points=self.min_points if min_points is None else min_points,
+                mode=self.mode if mode is None else mode,
             )
-        scorer = StreamScorer(
-            detector,
-            window=self.window if window is None else window,
-            min_points=self.min_points if min_points is None else min_points,
-            mode=self.mode if mode is None else mode,
-        )
-        self._shards[stream_id] = scorer
-        self._submitted.setdefault(stream_id, 0)
-        self._scored.setdefault(stream_id, 0)
-        self._dropped.setdefault(stream_id, 0)
-        return scorer
+            self._shards[stream_id] = scorer
+            self._submitted.setdefault(stream_id, 0)
+            self._scored.setdefault(stream_id, 0)
+            self._dropped.setdefault(stream_id, 0)
+            return scorer
 
     def stream(self, stream_id):
         """The shard scorer serving ``stream_id``."""
@@ -190,62 +242,60 @@ class StreamRouter:
         self._submitted[stream_id] += 1
 
     def submit(self, stream_id, point):
-        """Enqueue one arrival for ``stream_id``; O(1), never scores."""
-        self._ensure_stream(stream_id)
+        """Enqueue one arrival for ``stream_id``; O(1), never scores.
+
+        Thread-safe: validation, enqueueing and counter updates happen
+        atomically under the router lock, so concurrent producers never
+        tear the queue or the per-stream counters (see the module-level
+        concurrency contract).
+        """
         row = np.asarray(point, dtype=np.float64).reshape(-1)
-        self._check_dims(stream_id, row.shape[0])
-        self._enqueue(stream_id, row)
+        with self._lock:
+            self._ensure_stream(stream_id)
+            self._check_dims(stream_id, row.shape[0])
+            self._enqueue(stream_id, row)
         return self
 
     def submit_many(self, stream_id, points):
-        """Enqueue every row of a ``(n, dims)`` (or ``(n,)``) chunk."""
-        self._ensure_stream(stream_id)
+        """Enqueue every row of a ``(n, dims)`` (or ``(n,)``) chunk.
+
+        Thread-safe, and atomic as a chunk: the rows enqueue contiguously
+        even when other producers are submitting concurrently.
+        """
         arr = np.asarray(points, dtype=np.float64)
         if arr.ndim == 1:
             arr = arr[:, None]
-        if arr.shape[0]:
-            self._check_dims(stream_id, arr.shape[1])
-        for row in arr:
-            self._enqueue(stream_id, row)
+        with self._lock:
+            self._ensure_stream(stream_id)
+            if arr.shape[0]:
+                self._check_dims(stream_id, arr.shape[1])
+            for row in arr:
+                self._enqueue(stream_id, row)
         return self
 
     # ------------------------------------------------------------------ #
     # scoring
-    def drain(self, max_points=None):
-        """Score queued arrivals; returns ``{stream_id: scores}``.
+    def _score_group(self, items):
+        """Score one same-detector shard group: ``[(stream_id, rows)]``.
 
-        Pops up to ``max_points`` arrivals (all by default) in FIFO order,
-        ingests each stream's pending points as one micro-batch, then
-        refreshes all session-backed shards in grouped forward passes.
-        Scores arrive in per-stream submission order; streams appear in
-        first-arrival order of this drain.
+        The worker unit of both drain backends.  Ingests each stream's
+        pending points as one micro-batch, then refreshes the group's
+        session-backed shards through grouped *tail* forwards
+        (:func:`repro.core.batched_session_scores` with the chunk sizes) —
+        bounded slices for receptive-field-capable architectures, full
+        windows otherwise.  Touches only its own shards, never the queue
+        or the counters, so groups score concurrently without locks.
 
-        A shard that fails to ingest (e.g. an unfitted detector) never
-        destroys the burst: the other streams are scored normally, the
-        faulty streams' arrivals return to the front of the queue, and a
-        :class:`DrainError` carrying both the healthy results and the
-        per-stream failures is raised.
+        Returns ``(results, failures)`` where failures map stream ids to
+        ``(exception, rows)`` so the caller can re-queue.
         """
-        count = len(self._queue)
-        if max_points is not None:
-            count = min(count, max(int(max_points), 0))
-        if not count:
-            return {}
-        chunks = {}
-        for __ in range(count):
-            stream_id, row = self._queue.popleft()
-            chunks.setdefault(stream_id, []).append(row)
-        results = {}
-        failures = {}
-        deferred = []  # session shards: refresh them in grouped forwards
-        for stream_id, rows in chunks.items():
+        results, failures, deferred = {}, {}, []
+        for stream_id, rows in items:
             scorer = self._shards[stream_id]
             try:
                 n, needs_scores = scorer._ingest_chunk(np.stack(rows))
             except Exception as exc:  # noqa: BLE001 - isolate faulty shards
-                for row in reversed(rows):
-                    self._queue.appendleft((stream_id, row))
-                failures[stream_id] = exc
+                failures[stream_id] = (exc, rows)
                 continue
             if not needs_scores:
                 results[stream_id] = np.zeros(n)
@@ -256,26 +306,107 @@ class StreamRouter:
                     n, scorer._window_scores()
                 )
         if deferred:
-            batched_session_scores(
+            tails = batched_session_scores(
                 [scorer._session for __, scorer, __n in deferred],
                 batch_size=self.batch_size,
+                tail=[n for __, __s, n in deferred],
             )
-            for stream_id, scorer, n in deferred:
-                results[stream_id] = scorer._collect_chunk(
-                    n, scorer._session.scores()
-                )
-        for stream_id, scores in results.items():
-            self._scored[stream_id] += scores.shape[0]
-        self._drains += 1
+            for (stream_id, scorer, n), tail in zip(deferred, tails):
+                results[stream_id] = scorer._collect_chunk(n, tail)
+        return results, failures
+
+    def _drain_pool(self):
+        """The threaded backend's worker pool, built on first use."""
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-drain",
+            )
+        return self._pool
+
+    def close(self):
+        """Shut down the threaded backend's worker pool (if it ever ran).
+
+        Serial routers need no cleanup; threaded routers should be closed
+        (or have their process exit) when serving stops.  Idempotent.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def drain(self, max_points=None):
+        """Score queued arrivals; returns ``{stream_id: scores}``.
+
+        Pops up to ``max_points`` arrivals (all by default) in FIFO order,
+        ingests each stream's pending points as one micro-batch, then
+        refreshes all session-backed shards in grouped forward passes.
+        Scores arrive in per-stream submission order; streams appear in
+        first-arrival order of this drain.
+
+        Concurrency: drains are serialised against each other (a second
+        caller blocks until the first finishes), producers may keep
+        submitting throughout, and with ``drain_backend='threaded'`` the
+        burst's same-detector shard groups score concurrently on the
+        worker pool.
+
+        A shard that fails to ingest (e.g. an unfitted detector) never
+        destroys the burst: the other streams are scored normally, the
+        faulty streams' arrivals return to the front of the queue, and a
+        :class:`DrainError` carrying both the healthy results and the
+        per-stream failures is raised.
+        """
+        with self._drain_lock:
+            with self._lock:
+                count = len(self._queue)
+                if max_points is not None:
+                    count = min(count, max(int(max_points), 0))
+                if not count:
+                    return {}
+                chunks = {}
+                for __ in range(count):
+                    stream_id, row = self._queue.popleft()
+                    chunks.setdefault(stream_id, []).append(row)
+            # Partition the burst into same-detector shard groups — the
+            # unit that shares grouped forwards, hence the unit of
+            # backend parallelism (groups share no detector state).
+            groups = {}
+            for stream_id, rows in chunks.items():
+                key = id(self._shards[stream_id].detector)
+                groups.setdefault(key, []).append((stream_id, rows))
+            group_list = list(groups.values())
+            if self.drain_backend == "threaded" and len(group_list) > 1:
+                futures = [self._drain_pool().submit(self._score_group, group)
+                           for group in group_list]
+                scored = [future.result() for future in futures]
+            else:
+                scored = [self._score_group(group) for group in group_list]
+            results, failures = {}, {}
+            for group_results, group_failures in scored:
+                results.update(group_results)
+                failures.update(group_failures)
+            with self._lock:
+                for stream_id, (__, rows) in failures.items():
+                    for row in reversed(rows):
+                        self._queue.appendleft((stream_id, row))
+                for stream_id, scores in results.items():
+                    self._scored[stream_id] += scores.shape[0]
+                self._drains += 1
+        # Streams appear in first-arrival order of the drain, exactly as
+        # the serial implementation always returned them.
+        results = {stream_id: results[stream_id]
+                   for stream_id in chunks if stream_id in results}
         if failures:
             raise DrainError(
                 "%d stream(s) failed to ingest (%s); their arrivals were "
                 "re-queued, %d healthy stream(s) scored (see .results)"
                 % (len(failures),
                    ", ".join("%r: %s" % (sid, exc)
-                             for sid, exc in failures.items()),
+                             for sid, (exc, __) in failures.items()),
                    len(results)),
-                results, failures,
+                results,
+                {sid: exc for sid, (exc, __) in failures.items()},
             )
         return results
 
@@ -313,9 +444,15 @@ class StreamRouter:
         npz weights when it is a fitted RAE/RDAE — so a restored shard
         round-trips *how it was built*, not just its numbers.
 
-        Returns the manifest path.
+        Returns the manifest path.  Takes the drain and router locks, so
+        concurrent producers are held off while the snapshot is cut; do
+        not call it from inside a drain.
         """
         os.makedirs(directory, exist_ok=True)
+        with self._drain_lock, self._lock:
+            return self._save_locked(directory)
+
+    def _save_locked(self, directory):
         detectors, by_id = [], {}
 
         def register(detector):
@@ -332,6 +469,10 @@ class StreamRouter:
         for i, (stream_id, scorer) in enumerate(self._shards.items()):
             state = scorer.state_dict()
             arrays["s%d::window" % i] = state["window"]
+            if "cache_scores" in state:
+                # The tail-forward splice cache: restoring it lets the
+                # shard resume bounded pushes without a re-anchor forward.
+                arrays["s%d::cache" % i] = state["cache_scores"]
             # score/score_new shards evaluate fitted state at drain time;
             # unless the detector is stateless-scoring, only restored
             # weights (or a restore-time override) can resume them.
@@ -365,6 +506,7 @@ class StreamRouter:
                 "kind": state["kind"],
                 "dims": state["dims"],
                 "total": state["total"],
+                "cache_total": state.get("cache_total"),
                 "submitted": self._submitted[stream_id],
                 "scored": self._scored[stream_id],
                 "dropped": self._dropped[stream_id],
@@ -380,6 +522,8 @@ class StreamRouter:
                 "queue_limit": self.queue_limit,
                 "batch_size": self.batch_size,
                 "on_full": self.on_full,
+                "drain_backend": self.drain_backend,
+                "workers": self.workers,
             },
             "detectors": detectors,
             "default_detector": default,
@@ -398,7 +542,8 @@ class StreamRouter:
         return path
 
     @classmethod
-    def restore(cls, directory, detector=None):
+    def restore(cls, directory, detector=None, drain_backend=None,
+                workers=None):
         """Rebuild a router saved by :meth:`save`; scoring resumes exactly.
 
         Every shard is rebuilt from its saved spec/weights and reloaded
@@ -417,6 +562,10 @@ class StreamRouter:
         anyway) and stateless-scoring detectors, but ``score``/
         ``score_new`` shards whose fitted state could not be persisted are
         rejected here, up front, with the remedy — never at first drain.
+
+        ``drain_backend=``/``workers=`` override the saved execution
+        backend (they change *where* forwards run, never what they
+        compute, so overriding them cannot perturb restored scores).
         """
         with open(os.path.join(directory, _MANIFEST)) as handle:
             manifest = json.load(handle)
@@ -460,6 +609,10 @@ class StreamRouter:
             queue_limit=config["queue_limit"],
             batch_size=config["batch_size"],
             on_full=config["on_full"],
+            drain_backend=(drain_backend if drain_backend is not None
+                           else config.get("drain_backend")),
+            workers=(workers if workers is not None
+                     else config.get("workers")),
         )
         state_path = os.path.join(directory, _STATE)
         blob = np.load(state_path) if os.path.exists(state_path) else None
@@ -482,13 +635,18 @@ class StreamRouter:
                 min_points=entry["min_points"],
                 mode=entry["mode"],
             )
-            scorer.load_state_dict({
+            state = {
                 "kind": entry["kind"],
                 "dims": entry["dims"],
                 "window": blob["s%d::window" % i] if blob is not None
                 else np.zeros((0, 0)),
                 "total": entry["total"],
-            })
+            }
+            if (entry.get("cache_total") is not None and blob is not None
+                    and "s%d::cache" % i in blob):
+                state["cache_scores"] = blob["s%d::cache" % i]
+                state["cache_total"] = entry["cache_total"]
+            scorer.load_state_dict(state)
             router._submitted[entry["id"]] = entry["submitted"]
             router._scored[entry["id"]] = entry["scored"]
             router._dropped[entry["id"]] = entry["dropped"]
@@ -503,8 +661,8 @@ class StreamRouter:
 
     # ------------------------------------------------------------------ #
     # observability
-    def stream_stats(self, stream_id):
-        """Counters for one stream: submitted/scored/dropped/lag/total."""
+    def _stream_stats_locked(self, stream_id):
+        """One stream's counters; caller must hold ``self._lock``."""
         scorer = self._shards[stream_id]
         submitted = self._submitted[stream_id]
         scored = self._scored[stream_id]
@@ -520,18 +678,36 @@ class StreamRouter:
             "mode": scorer.mode,
         }
 
+    def stream_stats(self, stream_id):
+        """Counters for one stream: submitted/scored/dropped/lag/total.
+
+        The counters are read under one lock acquisition, so they are a
+        consistent snapshot — ``submitted == scored + dropped + lag`` holds
+        even while producers submit and a drain commits concurrently
+        (field-by-field reads could otherwise tear mid-drain).
+        """
+        with self._lock:
+            return self._stream_stats_locked(stream_id)
+
     def stats(self):
-        """Router-level stats plus a per-stream breakdown."""
-        return {
-            "streams": len(self._shards),
-            "queue_depth": len(self._queue),
-            "queue_limit": self.queue_limit,
-            "drains": self._drains,
-            "submitted": sum(self._submitted.values()),
-            "scored": sum(self._scored.values()),
-            "dropped": sum(self._dropped.values()),
-            "per_stream": {
-                stream_id: self.stream_stats(stream_id)
-                for stream_id in self._shards
-            },
-        }
+        """Router-level stats plus a per-stream breakdown.
+
+        Like :meth:`stream_stats`, the whole report — router totals *and*
+        every per-stream block — is assembled under a single lock
+        acquisition: totals always equal the sum of their per-stream
+        rows, and no counter can tear against a concurrent drain.
+        """
+        with self._lock:
+            return {
+                "streams": len(self._shards),
+                "queue_depth": len(self._queue),
+                "queue_limit": self.queue_limit,
+                "drains": self._drains,
+                "submitted": sum(self._submitted.values()),
+                "scored": sum(self._scored.values()),
+                "dropped": sum(self._dropped.values()),
+                "per_stream": {
+                    stream_id: self._stream_stats_locked(stream_id)
+                    for stream_id in self._shards
+                },
+            }

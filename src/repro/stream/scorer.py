@@ -112,7 +112,11 @@ class StreamScorer:
         The whole chunk is scored from a single pass over the updated
         window, which amortises model setup across arrivals; chunk points
         may therefore see slightly more context than with point-by-point
-        ``push``.
+        ``push``.  On the session path the pass is a receptive-field-
+        bounded *tail* forward whenever the fitted architecture reports
+        one (see :meth:`repro.core.ScoringSession.last_scores`): the
+        per-chunk cost is then O(receptive field + chunk), not O(window),
+        with scores bit-identical to a full re-forward.
 
         A chunk larger than the window evicts its own oldest points before
         scoring runs; those evicted points are reported as 0.0 (no
@@ -123,15 +127,18 @@ class StreamScorer:
         n, needs_scores = self._ingest_chunk(points)
         if not needs_scores:
             return np.zeros(n)
-        return self._collect_chunk(n, self._current_window_scores())
+        if self._session is not None:
+            return self._collect_chunk(n, self._session.last_scores(n))
+        return self._collect_chunk(n, self._window_scores())
 
     # -- staged chunk protocol (shared with repro.serve.StreamRouter) ---- #
     #
-    # push_many = _ingest_chunk -> _current_window_scores -> _collect_chunk.
+    # push_many = _ingest_chunk -> score the window tail -> _collect_chunk.
     # The router runs the same three stages, but interleaves many shards
     # between ingest and collect so that session-backed shards can refresh
-    # their window scores through one grouped forward pass
-    # (repro.core.batched_session_scores) instead of one pass per shard.
+    # their tail scores through one grouped forward pass
+    # (repro.core.batched_session_scores with tail counts) instead of one
+    # pass per shard.
 
     def _ingest_chunk(self, points):
         """Ingest a chunk; return ``(n, needs_scores)``.
@@ -156,12 +163,6 @@ class StreamScorer:
             return n, True
         self._ring.extend(arr)
         return n, self._ring.total >= self.min_points
-
-    def _current_window_scores(self):
-        """Scores of the retained window (memoised on the session path)."""
-        if self._session is not None:
-            return self._session.scores()
-        return self._window_scores()
 
     def _collect_chunk(self, n, window_scores):
         """Map window scores back to the last ``n`` ingested arrivals."""
@@ -198,13 +199,21 @@ class StreamScorer:
         raw arrivals); ``window`` is the retained window oldest-first and
         ``total`` the arrivals ever ingested — everything
         :meth:`load_state_dict` needs to resume the stream bit-exactly.
-        The detector itself is *not* included; persist it with
-        :mod:`repro.core.persistence` (or a spec) alongside.
+        Session states additionally carry the tail-forward splice cache
+        (``cache_scores``/``cache_total``) when one is live, so a restored
+        shard resumes receptive-field-bounded pushes without paying a
+        re-anchoring full forward first.  The detector itself is *not*
+        included; persist it with :mod:`repro.core.persistence` (or a
+        spec) alongside.
         """
         if self._session is not None:
-            return {"kind": "session", "dims": int(self._session.dims),
-                    "window": np.asarray(self._session._ring.view()).copy(),
-                    "total": int(self._session.total)}
+            state = {"kind": "session", "dims": int(self._session.dims),
+                     "window": np.asarray(self._session._ring.view()).copy(),
+                     "total": int(self._session.total)}
+            if self._session._cache_total >= 0:
+                state["cache_scores"] = self._session._cache_scores.copy()
+                state["cache_total"] = int(self._session._cache_total)
+            return state
         if self._ring is not None:
             return {"kind": "ring", "dims": int(self._ring.dims),
                     "window": np.asarray(self._ring.view()).copy(),
@@ -232,7 +241,11 @@ class StreamScorer:
                 % (kind, self.mode, expected)
             )
         if self._session is not None:
-            self._session.load_state(state["window"], state["total"])
+            self._session.load_state(
+                state["window"], state["total"],
+                cache_scores=state.get("cache_scores"),
+                cache_total=state.get("cache_total"),
+            )
         else:
             self._ring.load(state["window"], state["total"])
         return self

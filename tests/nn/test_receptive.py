@@ -1,0 +1,105 @@
+"""Receptive-field metadata: primitive extents, composition, soundness.
+
+The tail-forward serving path trusts ``Module.receptive_field()`` to bound
+how far a perturbation can travel along the time axis.  These tests check
+the reported cones directly against the functional primitives: perturb one
+input position, observe which outputs change, and require the observation
+to fit inside the reported (over-approximated) cone.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.receptive import UNBOUNDED, ReceptiveField
+
+
+def test_primitive_extents():
+    assert nn.ReLU().receptive_field().lookback == 0
+    conv = nn.Conv1d(3, 4, 5).receptive_field()  # 'same' padding -> 2
+    assert (conv.lookback, conv.lookahead) == (2, 2)
+    assert conv.period_int == 1
+    unpadded = nn.Conv1d(3, 4, 5, padding=0).receptive_field()
+    assert (unpadded.lookback, unpadded.lookahead) == (0, 4)
+    pool = nn.MaxPool1d(2).receptive_field()
+    assert (pool.lookback, pool.lookahead) == (0, 1)
+    assert pool.stride == 2 and pool.period_int == 2
+    up = nn.Upsample1d(2).receptive_field()
+    assert up.stride == pytest.approx(0.5)
+    assert up.period_int == 1
+
+
+def test_unbounded_modules_and_absorption():
+    assert nn.Linear(4, 4).receptive_field() is UNBOUNDED
+    assert nn.LayerNorm(4).receptive_field() is UNBOUNDED
+    assert nn.LSTM(2, 4).receptive_field() is UNBOUNDED
+    assert nn.MultiHeadAttention(8, 2).receptive_field() is UNBOUNDED
+    assert nn.TransformerEncoderLayer(8, 2).receptive_field() is UNBOUNDED
+
+    class Custom(nn.Module):
+        def forward(self, x):  # pragma: no cover - never called
+            return x
+
+    # Unknown forwards get the only safe default.
+    assert Custom().receptive_field() is UNBOUNDED
+    # One unbounded stage poisons the whole chain.
+    chain = nn.Sequential(nn.Conv1d(2, 2, 3), nn.Linear(2, 2))
+    assert chain.receptive_field() is UNBOUNDED
+    assert UNBOUNDED.then(ReceptiveField.pointwise()) is UNBOUNDED
+    assert ReceptiveField.pointwise().then(UNBOUNDED) is UNBOUNDED
+
+
+def test_sequential_composition_grows_monotonically():
+    one = nn.Sequential(nn.Conv1d(2, 4, 3), nn.ReLU()).receptive_field()
+    two = nn.Sequential(
+        nn.Conv1d(2, 4, 3), nn.ReLU(), nn.Conv1d(4, 4, 3), nn.ReLU()
+    ).receptive_field()
+    assert two.lookback > one.lookback and two.lookahead > one.lookahead
+    pooled = nn.Sequential(
+        nn.Conv1d(2, 4, 3), nn.MaxPool1d(2)
+    ).receptive_field()
+    assert pooled.period_int == 2 and pooled.stride == 2
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        ReceptiveField(lookback=-1)
+    with pytest.raises(ValueError):
+        ReceptiveField(stride=0)
+
+
+@pytest.mark.parametrize("kernel_size,layers,pool", [
+    (3, 1, False), (5, 2, False), (3, 2, True), (7, 3, True), (11, 1, True),
+])
+def test_reported_cone_contains_observed_dependence(kernel_size, layers, pool):
+    """Perturb one position; changed outputs must fit the reported cone."""
+    rng = np.random.default_rng(0)
+    stages = []
+    channels = 2
+    for __ in range(layers):
+        stages += [nn.Conv1d(channels, 4, kernel_size, rng=rng), nn.ReLU()]
+        channels = 4
+    if pool:
+        stages += [nn.MaxPool1d(2), nn.Upsample1d(2)]
+    stages.append(nn.Conv1d(channels, 2, kernel_size, rng=rng))
+    net = nn.Sequential(*stages)
+    field = net.receptive_field()
+    assert field.bounded
+
+    length = 64
+    x = rng.standard_normal((1, 2, length))
+    where = 40
+    bumped = x.copy()
+    bumped[0, :, where] += 1.0
+    with nn.no_grad():
+        base = net(nn.Tensor(x)).data
+        changed = net(nn.Tensor(bumped)).data
+    moved = np.flatnonzero(np.any(base != changed, axis=(0, 1)))
+    assert moved.size  # the perturbation must register somewhere
+    # Output position j reads inputs around floor(j*stride): the perturbed
+    # input can only move outputs whose projected centre is within the
+    # reported extents of `where`.
+    stride = float(field.stride)
+    lo = (where - field.lookahead) / stride - 1
+    hi = (where + field.lookback) / stride + 1
+    assert moved.min() >= lo and moved.max() <= hi

@@ -255,3 +255,141 @@ def test_stats_surface(fitted_rae, live_streams):
     assert stats["drains"] == 1
     per = stats["per_stream"]["s0"]
     assert per["lag"] == 5 and per["scored"] == 20 and per["total"] == 20
+
+
+# ------------------- drain backends & concurrency contract -------------- #
+
+def test_drain_backend_validation(fitted_rae):
+    with pytest.raises(ValueError):
+        StreamRouter(fitted_rae, drain_backend="bogus")
+    assert StreamRouter(fitted_rae).drain_backend == "serial"
+    # workers > 1 implies the threaded backend when none is named.
+    router = StreamRouter(fitted_rae, workers=4)
+    assert router.drain_backend == "threaded" and router.workers == 4
+    assert StreamRouter(fitted_rae, workers=1).drain_backend == "serial"
+    explicit = StreamRouter(fitted_rae, drain_backend="threaded")
+    assert explicit.workers == 4  # sensible pool default
+    explicit.close()
+
+
+def test_threaded_drain_matches_serial_bitwise():
+    """The backend changes where forwards run, never what they compute —
+    including across independent per-stream detectors (separate groups)
+    and the shared-detector grouped-forward path."""
+    detectors = [RAE(max_iterations=2, kernels=8, num_layers=2,
+                     seed=i).fit(make_series(i)) for i in range(3)]
+    shared = detectors[0]
+
+    def build(**kwargs):
+        router = StreamRouter(shared, window=40, **kwargs)
+        for i, det in enumerate(detectors):
+            router.add_stream(f"own{i}", detector=det)
+        for i in range(3):
+            router.add_stream(f"shared{i}")
+        return router
+
+    serial = build()
+    threaded = build(drain_backend="threaded", workers=3)
+    try:
+        for step in range(8):
+            for router in (serial, threaded):
+                for i in range(3):
+                    router.submit(f"own{i}", make_series(50 + i)[step])
+                    router.submit(f"shared{i}", make_series(60 + i)[step])
+            expected, got = serial.drain(), threaded.drain()
+            assert set(expected) == set(got)
+            for sid in expected:
+                assert np.array_equal(expected[sid], got[sid])
+    finally:
+        threaded.close()
+    assert serial.stats()["scored"] == threaded.stats()["scored"]
+
+
+def test_threaded_drain_isolates_faulty_shards(fitted_rae):
+    """DrainError semantics survive the threaded backend: healthy groups
+    score, the faulty stream's arrivals re-queue."""
+    router = StreamRouter(fitted_rae, window=32,
+                          drain_backend="threaded", workers=2)
+    router.add_stream("bad", detector=RAE())  # unfitted -> ingest fails
+    try:
+        router.submit("ok", [0.5]).submit("bad", [0.5]).submit("ok", [0.7])
+        with pytest.raises(DrainError) as excinfo:
+            router.drain()
+        assert set(excinfo.value.results) == {"ok"}
+        assert set(excinfo.value.failures) == {"bad"}
+        assert router.stats()["queue_depth"] == 1  # re-queued arrival
+    finally:
+        router.close()
+
+
+def test_concurrent_submits_never_lose_arrivals(fitted_rae):
+    """submit()/submit_many() are thread-safe: racing producers must land
+    every arrival exactly once, with consistent counters."""
+    import threading
+
+    router = StreamRouter(fitted_rae, window=32, queue_limit=100_000)
+    per_thread, threads = 400, 6
+
+    def produce(tid):
+        for j in range(per_thread):
+            if j % 10 == 0:
+                router.submit_many(f"t{tid}", [[0.1], [0.2]])
+            else:
+                router.submit(f"t{tid}", [float(j) / per_thread])
+
+    workers = [threading.Thread(target=produce, args=(t,))
+               for t in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+
+    expected = threads * (per_thread + per_thread // 10)
+    stats = router.stats()
+    assert stats["submitted"] == expected
+    assert stats["queue_depth"] == expected
+    results = router.drain()
+    assert sum(len(v) for v in results.values()) == expected
+    assert router.stats()["scored"] == expected
+
+
+def test_stats_snapshot_is_consistent_under_load(fitted_rae):
+    """stats() under one lock: the submitted == scored + dropped + lag
+    invariant must hold in every snapshot taken while producers and a
+    drain loop run concurrently (field-by-field reads could tear)."""
+    import threading
+
+    router = StreamRouter(fitted_rae, window=32, queue_limit=100_000)
+    stop = threading.Event()
+    violations = []
+
+    def produce():
+        j = 0
+        while not stop.is_set():
+            router.submit(f"p{j % 4}", [0.1])
+            j += 1
+
+    def watch():
+        while not stop.is_set():
+            snapshot = router.stats()
+            total = 0
+            for per in snapshot["per_stream"].values():
+                if per["submitted"] != (per["scored"] + per["dropped"]
+                                        + per["lag"]):
+                    violations.append(per)
+                total += per["submitted"]
+            if total != snapshot["submitted"]:
+                violations.append(snapshot)
+
+    producer = threading.Thread(target=produce)
+    watcher = threading.Thread(target=watch)
+    producer.start()
+    watcher.start()
+    for __ in range(10):
+        router.drain()
+    stop.set()
+    producer.join()
+    watcher.join()
+    router.drain()
+    assert not violations
+    assert router.stats()["scored"] == router.stats()["submitted"]

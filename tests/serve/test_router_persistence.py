@@ -188,3 +188,35 @@ def test_router_accepts_specs(history):
     router.submit_many("x", history[:30])
     scores = router.drain()["x"]
     assert scores.shape == (30,)
+
+
+def test_restore_carries_drain_backend_and_cache(fitted_rae, history,
+                                                 tmp_path):
+    """The execution config and each session's tail-forward splice cache
+    survive the round trip: a restored shard resumes bounded pushes
+    immediately, scoring subsequent arrivals bit-identically."""
+    router = StreamRouter(fitted_rae, window=48,
+                          drain_backend="threaded", workers=3)
+    _feed(router, {"a": history[:60], "b": history[60:120]})
+    router.save(tmp_path / "state")
+    router.close()
+
+    restored = StreamRouter.restore(tmp_path / "state")
+    try:
+        assert restored.drain_backend == "threaded" and restored.workers == 3
+        for sid in ("a", "b"):
+            live_session = router.stream(sid)._session
+            back_session = restored.stream(sid)._session
+            assert back_session._cache_total == live_session._cache_total
+            assert np.array_equal(back_session._cache_scores,
+                                  live_session._cache_scores)
+        live = _feed(router, {"a": history[120:125], "b": history[125:130]})
+        back = _feed(restored, {"a": history[120:125], "b": history[125:130]})
+        for sid in live:
+            assert np.array_equal(live[sid], back[sid])
+        # Execution knobs are overridable at restore time.
+        serial = StreamRouter.restore(tmp_path / "state",
+                                      drain_backend="serial", workers=1)
+        assert serial.drain_backend == "serial"
+    finally:
+        restored.close()
