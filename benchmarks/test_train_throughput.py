@@ -1,0 +1,228 @@
+"""Training throughput: tape-compiled fits must beat eager, bit-identically.
+
+Three claims are measured (and the raw numbers recorded under
+``bench-results/`` so BENCH trajectories can accumulate across PRs):
+
+1. ``train_reconstruction`` — the unit the tape compiles — replays markedly
+   faster than eager graph-rebuilding at paper-default RAE architecture.
+2. ``RAE().fit`` end-to-end is faster with the tape and produces
+   bit-identical scores, decomposition, and convergence trace.
+3. ``RobustEnsemble.fit(n_jobs=N)`` fits members concurrently with
+   bit-identical results to serial; wall-clock scaling is asserted only on
+   multi-core hosts (member fits are BLAS-bound; one core serialises them).
+
+Context for the speedup floors: this PR also rewrote the conv1d/conv2d
+kernels from im2col einsum to per-tap GEMM, which made *eager* fits ~2-3x
+faster than the previous release.  The asserted tape-vs-eager ratios are on
+top of that faster eager baseline (combined, a paper-default ``RAE().fit``
+on a 10k-point series runs >2x faster than before this PR); asserting
+against the shipped eager path keeps the comparison honest.
+
+Timings use CPU time (``time.process_time``) with interleaved A/B rounds
+and medians: the ratio assertions must not flake on a loaded CI runner.
+
+``REPRO_BENCH_TINY=1`` shrinks every size so CI smoke runs exercise the
+measured paths end-to-end in seconds; wall-clock/CPU ratio assertions are
+skipped in tiny mode (the bit-identity assertions are not).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import RAE, RobustEnsemble
+from repro.core.autoencoders import ConvSeriesAE, train_reconstruction
+from repro.nn import tape as nntape
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+LENGTH = 1_200 if TINY else 10_000
+STEP_LENGTH = 800 if TINY else 5_000
+FIT_ITERATIONS = 2 if TINY else 6
+ROUNDS = 1 if TINY else 3
+
+RESULTS_DIR = os.environ.get("REPRO_BENCH_DIR", "bench-results")
+RESULTS_PATH = os.path.join(RESULTS_DIR, "train_throughput.json")
+
+
+def _record_result(key, payload):
+    """Merge one benchmark's raw numbers into the trajectory JSON."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            data = json.load(handle)
+    payload = dict(payload, tiny=TINY, cpu_count=os.cpu_count())
+    data[key] = payload
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+
+
+def make_series(seed, length=LENGTH):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    return (np.sin(2 * np.pi * t / 50)
+            + 0.1 * rng.standard_normal(length))[:, None]
+
+
+def _with_tape(enabled, fn):
+    previous = nntape.set_tape_enabled(enabled)
+    try:
+        return fn()
+    finally:
+        nntape.set_tape_enabled(previous)
+
+
+@pytest.mark.slow
+def test_train_step_tape_replay_beats_eager():
+    """The compiled unit: repeated train_reconstruction calls on one model
+    (the ADMM pattern) must replay faster than eager graph rebuilding.
+
+    ``slow``-marked like the other thin-margin ratio benchmarks: timing
+    ratios this small (1.2-1.5x on an idle 1-core host) flake under the
+    allocator/CPU state a full tier-1 run leaves behind.  CI's bench-smoke
+    job still runs it tiny (bit-identity asserted, ratios recorded).
+
+    Eager and tape steps alternate call-by-call on two live models, so a
+    noisy/contended runner degrades both sides alike and the asserted
+    ratio stays meaningful."""
+    x = make_series(0, STEP_LENGTH).T[None]  # (1, 1, L)
+
+    def build():
+        model = ConvSeriesAE(1, rng=np.random.default_rng(0))
+        optimizer = nn.Adam(model.parameters(), lr=1e-2)
+        train_reconstruction(model, optimizer, x, epochs=3)  # warm/record
+        return model, optimizer
+
+    eager_model, eager_opt = _with_tape(False, build)
+    tape_model, tape_opt = _with_tape(True, build)
+
+    def one_step(enabled, model, optimizer):
+        def run():
+            started = time.process_time()
+            train_reconstruction(model, optimizer, x, epochs=3)
+            return time.process_time() - started
+        return _with_tape(enabled, run)
+
+    eager_s, tape_s = [], []
+    for __ in range(4 if TINY else 20 * ROUNDS):
+        eager_s.append(one_step(False, eager_model, eager_opt))
+        tape_s.append(one_step(True, tape_model, tape_opt))
+    eager, tape = float(np.median(eager_s)), float(np.median(tape_s))
+    speedup = eager / max(tape, 1e-12)
+    print("\ntrain_reconstruction(epochs=3) at L=%d: eager %.2f ms, "
+          "tape %.2f ms (%.2fx)" % (STEP_LENGTH, 1e3 * eager, 1e3 * tape, speedup))
+    _record_result("train_step", {
+        "length": STEP_LENGTH, "eager_ms": 1e3 * eager, "tape_ms": 1e3 * tape,
+        "speedup": speedup,
+    })
+    if not TINY:
+        assert speedup >= 1.2, (
+            "tape replay only %.2fx faster than eager graph rebuild" % speedup
+        )
+
+
+@pytest.mark.slow
+def test_rae_fit_tape_speedup_and_bit_identity():
+    """End-to-end RAE().fit at paper-default architecture on a long series:
+    faster with the tape, and bit-identical — scores, clean series, and the
+    full convergence trace (asserted, not eyeballed).
+
+    The honest numbers, for the record: the tape replays the fit 1.2-1.35x
+    faster than the *shipped* eager path.  The ISSUE's ≥2x target is met
+    only against the pre-PR baseline — this PR's per-tap GEMM kernel
+    rewrite made eager itself ~2x faster, and asserting against that
+    faster eager keeps the comparison honest (see CHANGES.md)."""
+    series = make_series(1)
+
+    def fit():
+        detector = RAE(max_iterations=FIT_ITERATIONS)
+        started = time.process_time()
+        detector.fit(series)
+        return time.process_time() - started, detector
+
+    _with_tape(True, fit)  # warm caches/BLAS before timing
+    eager_s, tape_s = [], []
+    for __ in range(ROUNDS):
+        elapsed, eager_det = _with_tape(False, fit)
+        eager_s.append(elapsed)
+        elapsed, tape_det = _with_tape(True, fit)
+        tape_s.append(elapsed)
+
+    # The contract, independent of timing: identical fixed-seed results.
+    assert np.array_equal(eager_det.score(series), tape_det.score(series))
+    assert np.array_equal(eager_det.clean_series, tape_det.clean_series)
+    assert np.array_equal(eager_det.outlier_series, tape_det.outlier_series)
+    assert eager_det.trace_.rmse == tape_det.trace_.rmse
+    assert eager_det.trace_.condition1 == tape_det.trace_.condition1
+    assert eager_det.trace_.condition2 == tape_det.trace_.condition2
+
+    eager, tape = float(np.median(eager_s)), float(np.median(tape_s))
+    speedup = eager / max(tape, 1e-12)
+    print("\nRAE(paper-default).fit on %d points (%d iterations): "
+          "eager %.3f s, tape %.3f s (%.2fx, bit-identical)"
+          % (LENGTH, FIT_ITERATIONS, eager, tape, speedup))
+    _record_result("rae_fit", {
+        "length": LENGTH, "iterations": FIT_ITERATIONS,
+        "eager_s": eager, "tape_s": tape, "speedup": speedup,
+    })
+    if not TINY:
+        assert speedup >= 1.1, (
+            "tape-compiled RAE fit only %.2fx faster than eager" % speedup
+        )
+
+
+def _time_ensemble_pair(length, members, iterations):
+    series = make_series(2, length)
+    kwargs = dict(base="rae", n_members=members, seed=0,
+                  max_iterations=iterations)
+    started = time.perf_counter()
+    serial = RobustEnsemble(n_jobs=1, **kwargs).fit(series)
+    serial_s = time.perf_counter() - started
+    started = time.perf_counter()
+    threaded = RobustEnsemble(n_jobs=-1, **kwargs).fit(series)
+    threaded_s = time.perf_counter() - started
+    return series, serial, threaded, serial_s, threaded_s
+
+
+def test_ensemble_n_jobs_determinism():
+    """Threaded member fits are bit-identical to serial — the part of the
+    n_jobs contract that must hold on every host, every run."""
+    series, serial, threaded, serial_s, threaded_s = _time_ensemble_pair(
+        900 if TINY else 3_000, 3 if TINY else 5, 1 if TINY else 3
+    )
+    assert np.array_equal(serial.score(series), threaded.score(series))
+    assert np.array_equal(serial.clean_series, threaded.clean_series)
+    for a, b in zip(serial.members_, threaded.members_):
+        assert np.array_equal(a.score(series), b.score(series))
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / max(threaded_s, 1e-12)
+    print("\n%d-member ensemble fit on %d points: serial %.2f s, "
+          "n_jobs=-1 %.2f s (%.2fx on %d cores, bit-identical)"
+          % (serial.n_members, series.shape[0], serial_s, threaded_s,
+             speedup, cores))
+    _record_result("ensemble_n_jobs", {
+        "members": serial.n_members, "length": int(series.shape[0]),
+        "serial_s": serial_s, "threaded_s": threaded_s, "speedup": speedup,
+    })
+
+
+@pytest.mark.slow
+def test_ensemble_n_jobs_scaling():
+    """Wall-clock scaling of threaded member fits — multi-core hosts only
+    (one core serialises the BLAS-bound member fits)."""
+    cores = os.cpu_count() or 1
+    if TINY or cores < 4:
+        pytest.skip("needs >=4 cores and full sizes for a meaningful ratio")
+    __, __, __, serial_s, threaded_s = _time_ensemble_pair(3_000, 5, 3)
+    speedup = serial_s / max(threaded_s, 1e-12)
+    print("\nensemble scaling: serial %.2f s, threaded %.2f s (%.2fx on %d "
+          "cores)" % (serial_s, threaded_s, speedup, cores))
+    assert speedup >= 1.3, (
+        "threaded ensemble fit only %.2fx faster on %d cores"
+        % (speedup, cores)
+    )

@@ -142,6 +142,10 @@ def build_parser():
         description="Robust & explainable time series outlier detection "
                     "(Kieu et al., ICDE 2022 reproduction)",
     )
+    parser.add_argument("--eager", action="store_true",
+                        help="disable the tape-compiled training fast path "
+                             "(repro.nn.tape) and train every fit eagerly; "
+                             "results are bit-identical either way")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-methods", help="print the registered method names")
@@ -638,6 +642,10 @@ def _run_demo(args):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
+    if getattr(args, "eager", False):
+        from . import nn
+
+        nn.tape.set_tape_enabled(False)
     if args.command == "list-methods":
         for name in available_methods():
             print(name)

@@ -80,6 +80,10 @@ class ConvSeriesAE(nn.Module):
     decoder: mirrored convs with nearest upsampling back to ``C``.
     """
 
+    # forward is pure structured primitives with shape-only branching, so a
+    # recorded training tape replays it faithfully (see repro.nn.tape).
+    tape_safe = True
+
     def __init__(self, dims, kernels=16, num_layers=3, kernel_size=3, rng=None):
         super().__init__()
         ladder = _kernel_ladder(kernels, num_layers)
@@ -123,6 +127,8 @@ class ConvSeriesAE(nn.Module):
 class ConvMatrixAE(nn.Module):
     """2D-CNN autoencoder over a lagged matrix ``(1, D, B, K)`` (Eqs. 8-9)."""
 
+    tape_safe = True
+
     def __init__(self, dims, kernels=8, num_layers=2, kernel_size=3, rng=None):
         super().__init__()
         ladder = _kernel_ladder(kernels, num_layers)
@@ -155,6 +161,8 @@ class FCSeriesAE(nn.Module):
     through an FC bottleneck autoencoder; the last chunk is padded by
     repeating the final observation.
     """
+
+    tape_safe = True  # chunking/padding branch only on the input shape
 
     def __init__(self, dims, chunk=64, hidden=64, rng=None):
         super().__init__()
@@ -194,6 +202,8 @@ class FCMatrixAE(nn.Module):
     as a sample for an FC bottleneck autoencoder.
     """
 
+    tape_safe = True
+
     def __init__(self, dims, window, hidden=64, rng=None):
         super().__init__()
         self.window = int(window)
@@ -224,6 +234,8 @@ class ConvTransform1d(nn.Module):
     effect relies on the conv stack *approximating* identity imperfectly.
     """
 
+    tape_safe = True
+
     def __init__(self, dims, kernels=8, kernel_size=3, rng=None):
         super().__init__()
         self.net = nn.Sequential(
@@ -250,6 +262,8 @@ class ConvTransform2d(nn.Module):
     providing the noise-removing smoothing.
     """
 
+    tape_safe = True
+
     def __init__(self, dims, kernels=8, kernel_size=3, rng=None):
         super().__init__()
         self.net = nn.Sequential(
@@ -268,11 +282,35 @@ def train_reconstruction(model, optimizer, inputs, epochs=1, target=None):
     Minimises ``||target - model(inputs)||^2`` (``target`` defaults to the
     inputs) for ``epochs`` Adam steps and returns the final reconstruction
     as a plain array.
+
+    When the model is tape-compilable (see :mod:`repro.nn.tape`) the first
+    step records a flat op tape that later epochs — and later calls for the
+    same shapes, i.e. every ADMM iteration of Algorithms 1/2 — replay
+    without rebuilding the autograd graph.  Replay is bit-identical to the
+    eager loop; eager remains the automatic fallback whenever the tape
+    declines (disabled, stable kernels, unsupported module, shape change).
     """
     inputs = np.asarray(inputs, dtype=np.float64)
     target = inputs if target is None else np.asarray(target, dtype=np.float64)
+    epochs = max(int(epochs), 1)
+    done = 0
+    tape = nn.tape.training_tape(model, inputs, target)
+    if tape is not None:
+        for __ in range(epochs):
+            optimizer.zero_grad()
+            tape.step(inputs, target)
+            nn.clip_grad_norm(model.parameters(), 5.0)
+            optimizer.step()
+            done += 1
+            if tape.failed:
+                # Poisoned during recording (an op baked run-time data into
+                # the graph).  The recording step itself ran eagerly, so its
+                # update stands; the remaining epochs fall back below.
+                break
+        if not tape.failed:
+            return np.array(tape.forward(inputs))
     output = None
-    for __ in range(max(int(epochs), 1)):
+    for __ in range(epochs - done):
         optimizer.zero_grad()
         prediction = model(nn.Tensor(inputs))
         loss = nn.mse_loss(prediction, target)

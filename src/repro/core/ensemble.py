@@ -11,6 +11,9 @@ analysis.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from ..baselines.base import BaseDetector
@@ -30,13 +33,19 @@ class RobustEnsemble(BaseDetector):
     jitter: when True, members get diverse kernel counts / kernel sizes
         (diversity is what makes AE ensembles work, cf. RandNet).
     combine: 'median' (default) or 'mean'.
+    n_jobs: members fitted concurrently (1 = serial, the default; -1 = one
+        thread per CPU).  Threads, not processes: member fits are
+        independent NumPy/BLAS work that releases the GIL, and both grad
+        mode and tape recording are thread-local, so a threaded fit is
+        bit-identical to the serial one — member seeds and architecture
+        jitter are drawn sequentially before any fitting starts.
     base_kwargs: forwarded to every member's constructor.
     """
 
     name = "RAE-Ens"
 
     def __init__(self, base="rae", n_members=5, jitter=True, combine="median",
-                 seed=0, **base_kwargs):
+                 seed=0, n_jobs=1, **base_kwargs):
         if base not in ("rae", "rdae"):
             raise ValueError("base must be 'rae' or 'rdae'")
         if combine not in ("median", "mean"):
@@ -46,6 +55,7 @@ class RobustEnsemble(BaseDetector):
         self.jitter = bool(jitter)
         self.combine = combine
         self.seed = seed
+        self.n_jobs = int(n_jobs)
         self.base_kwargs = base_kwargs
         self.members_ = []
         self.name = "%s-Ens" % base.upper()
@@ -59,13 +69,28 @@ class RobustEnsemble(BaseDetector):
         cls = RAE if self.base == "rae" else RDAE
         return cls(**kwargs)
 
+    def _workers(self):
+        jobs = self.n_jobs
+        if jobs < 0:
+            jobs = os.cpu_count() or 1
+        return max(min(jobs, self.n_members), 1)
+
     def fit(self, series):
         rng = np.random.default_rng(self.seed)
-        self.members_ = []
-        for index in range(self.n_members):
-            member = self._member(index, rng)
-            member.fit(series)
-            self.members_.append(member)
+        self.members_ = []  # a failed re-fit must not leave stale members
+        # Draw every member's seed/jitter up front (serial-identical RNG
+        # stream), then fit — concurrently when n_jobs allows.
+        members = [self._member(index, rng) for index in range(self.n_members)]
+        workers = self._workers()
+        if workers > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # list() propagates the first member's exception, like the
+                # serial loop would.
+                list(pool.map(lambda member: member.fit(series), members))
+        else:
+            for member in members:
+                member.fit(series)
+        self.members_ = members
         return self
 
     def score(self, series):

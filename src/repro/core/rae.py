@@ -131,6 +131,9 @@ class RAE(BaseDetector):
         self.outlier_ = outlier
         self._residual = arr - clean
         self.trace_ = trace
+        # The recorded training tape keeps a whole graph's activations and
+        # gradient buffers alive on the model; scoring never needs it.
+        nn.tape.release_tapes(self.model_)
         return self
 
     def is_fitted(self):

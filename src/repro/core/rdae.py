@@ -253,6 +253,9 @@ class RDAE(BaseDetector):
         self.outlier_ = outlier
         self._residual = arr - clean
         self.trace_ = trace
+        for module in (self._inner, self._f1, self._f2):
+            if module is not None:
+                nn.tape.release_tapes(module)
         return self
 
     def is_fitted(self):

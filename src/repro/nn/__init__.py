@@ -5,6 +5,7 @@ the substitution rationale.
 """
 
 from . import functional
+from . import tape
 from .attention import MultiHeadAttention, PositionalEncoding, TransformerEncoderLayer
 from .init import seed
 from .layers import (
@@ -47,6 +48,7 @@ __all__ = [
     "is_grad_enabled",
     "seed",
     "functional",
+    "tape",
     "ReceptiveField",
     "UNBOUNDED",
     "Module",

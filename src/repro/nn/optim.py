@@ -1,4 +1,13 @@
-"""Gradient-descent optimisers (SGD with momentum, Adam) and utilities."""
+"""Gradient-descent optimisers (SGD with momentum, Adam) and utilities.
+
+Both optimisers update parameters strictly in place (``p.data`` keeps its
+buffer identity across steps): the training tape's replay closures read
+parameter arrays live, and serving-side caches hold views that must not be
+orphaned by a step.  Adam's update is fused through two scratch buffers —
+the textbook formulation allocates ~6 temporaries per parameter per step —
+with an operation order chosen so every value matches the unfused update
+bit for bit (in-place ufuncs round exactly like their out-of-place forms).
+"""
 
 from __future__ import annotations
 
@@ -10,14 +19,26 @@ __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 def clip_grad_norm(parameters, max_norm):
     """Scale gradients in place so their global l2 norm is at most ``max_norm``.
 
-    Returns the pre-clip norm (useful for monitoring divergence).
+    Returns the pre-clip norm (useful for monitoring divergence).  The norm
+    uses one BLAS dot per parameter instead of materialising ``p.grad**2``
+    temporaries, and scaling multiplies each gradient array in place rather
+    than rebinding a fresh one (the training tape and fused Adam rely on
+    gradient buffers keeping their identity).
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in parameters)))
+    total = 0.0
+    for p in parameters:
+        flat = p.grad.reshape(-1)
+        total += float(np.dot(flat, flat))
+    total = float(np.sqrt(total))
     if total > max_norm > 0:
         scale = max_norm / (total + 1e-12)
         for p in parameters:
-            p.grad = p.grad * scale
+            if p.grad.flags.writeable:
+                p.grad *= scale
+            else:
+                # Adopted read-only gradient view (see Tensor._accumulate_owned).
+                p.grad = p.grad * scale
     return total
 
 
@@ -56,11 +77,11 @@ class SGD(Optimizer):
                 grad = grad + self.weight_decay * p.data
             v *= self.momentum
             v += grad
-            p.data = p.data - self.lr * v
+            p.data -= self.lr * v
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) with bias correction."""
+    """Adam (Kingma & Ba) with bias correction, fused in place."""
 
     def __init__(self, parameters, lr=1e-3, betas=(0.9, 0.999), eps=1e-8,
                  weight_decay=0.0):
@@ -72,22 +93,36 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.parameters]
         self._v = [np.zeros_like(p.data) for p in self.parameters]
+        # Two scratch buffers per parameter, allocated once; every per-step
+        # temporary of the unfused update lives in one of these.
+        self._t1 = [np.empty_like(p.data) for p in self.parameters]
+        self._t2 = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self):
         self._step += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._step
         bias2 = 1.0 - b2**self._step
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        for p, m, v, t1, t2 in zip(self.parameters, self._m, self._v,
+                                   self._t1, self._t2):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * p.data
+            # m <- b1*m + (1-b1)*grad ; v <- b2*v + (1-b2)*grad^2
             m *= b1
-            m += (1.0 - b1) * grad
+            np.multiply(grad, 1.0 - b1, out=t1)
+            m += t1
             v *= b2
-            v += (1.0 - b2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=t1)
+            t1 *= 1.0 - b2
+            v += t1
+            # p <- p - lr * (m/bias1) / (sqrt(v/bias2) + eps)
+            np.divide(m, bias1, out=t1)
+            t1 *= self.lr
+            np.divide(v, bias2, out=t2)
+            np.sqrt(t2, out=t2)
+            t2 += self.eps
+            t1 /= t2
+            p.data -= t1

@@ -1,0 +1,290 @@
+"""Tape-compiled training fast path: record once, replay without rebuilding.
+
+Eager training rebuilds an identical autograd graph every epoch: fresh
+Python closures per op, a topo-sort DFS per backward, new output arrays and
+``grad + grad`` copies per accumulation.  For the full-batch reconstruction
+loops of Algorithms 1/2 the graph is *structurally constant* across epochs —
+only the numbers flowing through it change — so the first step through a
+``(model, input shape, target shape)`` combination can record a flat op tape
+that later epochs replay:
+
+* the op sequence is captured as ``(tensor, forward)`` pairs in creation
+  order, where ``forward(out=None)`` is the *same* closure eager execution
+  used (see :mod:`repro.nn.tensor`) — replay therefore runs bit-identical
+  arithmetic, in the same op order, with the same reduction orders;
+* output buffers are reused: compute ops write through ``out=`` into the
+  arrays allocated at record time, view ops rebind views of those stable
+  buffers;
+* the backward topological order is computed once and cached, and every
+  node keeps a persistent gradient buffer that replays accumulate into
+  (``np.copyto``/``+=`` instead of ``copy()``/``+``).
+
+The tape refuses (``failed``) whenever an op bakes run-time data into the
+recorded graph (softmax, active dropout — see ``_poison_tape``), and
+:func:`training_tape` declines to tape at all under ``no_grad``, under
+:func:`repro.nn.functional.stable_kernels`, or for modules that are not
+structurally replayable (:func:`module_tape_safe`).  Everything declined
+falls back to eager execution, which remains the reference semantics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from . import layers
+from .functional import stable_kernels_active
+from .losses import mse_loss
+from .tensor import Tensor, _push_tape, _topo_order, is_grad_enabled
+
+__all__ = [
+    "TrainStepTape",
+    "training_tape",
+    "release_tapes",
+    "module_tape_safe",
+    "tape_enabled",
+    "set_tape_enabled",
+]
+
+# Process-wide opt-out: REPRO_EAGER=1 (or set_tape_enabled(False) / the CLI
+# --eager flag) forces every fit through the eager reference path.
+_ENABLED = [os.environ.get("REPRO_EAGER", "") not in ("1", "true", "yes")]
+
+#: Maximum recorded tapes kept per model (distinct input/target shapes).
+_MAX_TAPES_PER_MODEL = 4
+
+# Modules whose forward is known to lower entirely onto replayable
+# primitives.  Matched by exact type: a subclass may override forward with
+# arbitrary Python, so it must opt in via its own ``tape_safe`` attribute.
+_SAFE_LEAF_TYPES = frozenset((
+    layers.Linear,
+    layers.Conv1d,
+    layers.Conv2d,
+    layers.MaxPool1d,
+    layers.MaxPool2d,
+    layers.Upsample1d,
+    layers.Upsample2d,
+    layers.ReLU,
+    layers.Tanh,
+    layers.Sigmoid,
+    layers.LeakyReLU,
+    layers.Identity,
+    layers.LayerNorm,
+))
+
+
+def _child_modules(module):
+    for value in vars(module).values():
+        if isinstance(value, layers.Module):
+            yield value
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, layers.Module):
+                    yield item
+
+
+def module_tape_safe(module):
+    """Whether ``module``'s forward replays faithfully from a recorded tape.
+
+    True for the structured primitives of :mod:`repro.nn.layers` (their
+    forwards are pure traced ops whose only data-independent branching is on
+    shapes, which key the tape cache), for :class:`Sequential` chains of
+    safe children, and for composite modules that declare ``tape_safe =
+    True`` *and* contain only safe children.  Dropout is safe only when
+    inactive — an active mask is resampled per call, which a replay cannot
+    reproduce.  Everything else (recurrent/attention baselines, unknown
+    user modules) answers False and trains eagerly.
+    """
+    if isinstance(module, layers.Dropout):
+        return module.p <= 0.0 or not module.training
+    if type(module) is layers.Sequential:
+        return all(module_tape_safe(child) for child in module)
+    if type(module) in _SAFE_LEAF_TYPES:
+        return True
+    if getattr(module, "tape_safe", False):
+        return all(module_tape_safe(child) for child in _child_modules(module))
+    return False
+
+
+def tape_enabled():
+    """Whether tape compilation is enabled process-wide."""
+    return _ENABLED[0]
+
+
+def set_tape_enabled(flag):
+    """Toggle tape compilation (True by default; ``REPRO_EAGER=1`` disables).
+
+    Returns the previous setting so callers can restore it.
+    """
+    previous = _ENABLED[0]
+    _ENABLED[0] = bool(flag)
+    return previous
+
+
+class TrainStepTape:
+    """One recorded forward+loss+backward, replayable with fresh data.
+
+    The first :meth:`step` call *is* a normal eager training step — it runs
+    the model's forward and ``mse_loss`` under a recording context and then
+    the standard backward, so recording never changes results.  Later
+    :meth:`step` calls refresh the input/target buffers and replay the
+    captured closures.  The caller owns ``zero_grad``/clip/optimizer.step,
+    exactly as in the eager loop.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self.recorded = False
+        self.failed = None  # reason string once poisoned
+        self.replays = 0
+        self.x = None
+        self.target = None
+        self._nodes = []
+        self._forwards = []
+        self._topo = None
+        self._reversed_topo = None
+        self._loss = None
+        self._prediction = None
+        self._seed_grad = None
+
+    # ------------------------------------------------------------------ #
+    # recorder callbacks (invoked from repro.nn.tensor._record)
+    # ------------------------------------------------------------------ #
+    def _add(self, tensor, forward):
+        self._nodes.append(tensor)
+        self._forwards.append(forward)
+
+    def _poison(self, reason):
+        self.failed = reason
+
+    # ------------------------------------------------------------------ #
+    def step(self, inputs, target):
+        """Run one training forward+backward (recording on the first call).
+
+        Returns the prediction array (the tape's reused output buffer — copy
+        before storing it across steps).
+        """
+        if not self.recorded:
+            return self._record_step(inputs, target)
+        return self._replay_step(inputs, target)
+
+    def _record_step(self, inputs, target):
+        self.x = Tensor(np.array(inputs, dtype=np.float64))
+        if target is inputs:
+            self.target = self.x.data
+        else:
+            self.target = np.array(target, dtype=np.float64)
+        previous = _push_tape(self)
+        try:
+            prediction = self.model(self.x)
+            loss = mse_loss(prediction, self.target)
+        finally:
+            _push_tape(previous)
+        self._prediction, self._loss = prediction, loss
+        # The recording step is epoch one: run the eager backward, but
+        # through the shared topo helper so the order we cache is the order
+        # we just executed.
+        topo = _topo_order(loss)
+        self._seed_grad = np.ones_like(loss.data)
+        loss._accumulate(self._seed_grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+        self._topo = topo
+        self._reversed_topo = list(reversed(topo))
+        # Hand each node its final gradient array as the persistent
+        # accumulation buffer for replays.  Nodes whose gradient was adopted
+        # from a backward closure (``_accumulate_owned``) are skipped: the
+        # array belongs to the closure, not the node.
+        for node in topo:
+            if (node.grad is not None and node._grad_buf is None
+                    and not node._grad_owned):
+                node._grad_buf = node.grad
+        self.recorded = True
+        return prediction.data
+
+    def _replay_step(self, inputs, target):
+        self._replay_forward(inputs, target)
+        for node in self._topo:
+            node.grad = None
+        self._loss._accumulate(self._seed_grad)
+        for node in self._reversed_topo:
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+        self.replays += 1
+        return self._prediction.data
+
+    def _replay_forward(self, inputs, target):
+        xbuf = self.x.data
+        if inputs is not xbuf:
+            np.copyto(xbuf, np.asarray(inputs, dtype=np.float64))
+        if self.target is not xbuf and target is not None and target is not inputs:
+            np.copyto(self.target, np.asarray(target, dtype=np.float64))
+        nodes = self._nodes
+        forwards = self._forwards
+        for i in range(len(nodes)):
+            node = nodes[i]
+            node.data = forwards[i](node.data)
+
+    def forward(self, inputs, target=None):
+        """Replay only the forward pass (the post-training evaluation
+        forward of ``train_reconstruction``) and return the prediction
+        buffer."""
+        self._replay_forward(inputs, target)
+        return self._prediction.data
+
+    @property
+    def loss_value(self):
+        """Loss of the most recent step (recorded or replayed)."""
+        return float(self._loss.data)
+
+    def __repr__(self):
+        state = "failed: %s" % self.failed if self.failed else (
+            "recorded, %d replays" % self.replays if self.recorded
+            else "unrecorded"
+        )
+        return "TrainStepTape(ops=%d, %s)" % (len(self._nodes), state)
+
+
+def training_tape(model, inputs, target):
+    """The model's :class:`TrainStepTape` for this (shape, mode), or None.
+
+    None means "train eagerly": tape compilation disabled, grad disabled,
+    stable kernels active (serving arithmetic must never leak into a
+    recorded fit), the model is not structurally replayable, or a previous
+    recording for this key was poisoned.
+    """
+    if not _ENABLED[0] or not is_grad_enabled() or stable_kernels_active():
+        return None
+    state = model.__dict__
+    safe = state.get("_tape_safe")
+    if safe is None:
+        safe = state["_tape_safe"] = module_tape_safe(model)
+    if not safe:
+        return None
+    cache = state.get("_tape_cache")
+    if cache is None:
+        cache = state["_tape_cache"] = {}
+    key = (np.shape(inputs), None if target is inputs else np.shape(target))
+    tape = cache.get(key)
+    if tape is None:
+        if len(cache) >= _MAX_TAPES_PER_MODEL:
+            cache.pop(next(iter(cache)))
+        tape = cache[key] = TrainStepTape(model)
+    if tape.failed:
+        return None
+    return tape
+
+
+def release_tapes(model):
+    """Drop ``model``'s recorded tapes (and their retained graphs/buffers).
+
+    A recorded tape keeps every intermediate activation, gradient buffer,
+    and kernel scratch array of one training graph alive — tens of MB for a
+    long-series fit.  Training loops that keep their fitted model around
+    (RAE/RDAE store it for scoring and persistence) call this once the fit
+    finishes; the next fit simply re-records.  The ``_tape_safe`` verdict is
+    kept — it is a property of the module structure, not of a recording.
+    """
+    model.__dict__.pop("_tape_cache", None)

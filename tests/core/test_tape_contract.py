@@ -1,0 +1,149 @@
+"""Tape-vs-eager contract over the robust detector family.
+
+The tape-compiled training path (repro.nn.tape) promises bit-identical
+fits: for any fixed seed, scores, decomposition, and convergence trace must
+match the eager reference exactly — for every RAE/RDAE registry method and
+every ablation variant.  The ensemble's threaded fit makes the same promise
+against its serial path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RAE, RobustEnsemble
+from repro.core.variants import make_ablation
+from repro.eval import make_detector
+from repro.nn import tape as nntape
+
+
+def small_series(length=180, dims=1, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = np.sin(2 * np.pi * t / 25)[:, None] * np.ones((1, dims))
+    return base + 0.1 * rng.standard_normal((length, dims))
+
+
+def fit_with_tape(make, series, enabled):
+    previous = nntape.set_tape_enabled(enabled)
+    try:
+        return make().fit(series)
+    finally:
+        nntape.set_tape_enabled(previous)
+
+
+# Registry methods with a train_reconstruction loop, trimmed for test speed.
+REGISTRY_CASES = {
+    "RAE": {"max_iterations": 4},
+    "RDAE": {"window": 20, "max_outer": 1, "inner_iterations": 2,
+             "series_iterations": 2},
+    "N-RAE": {"epochs": 4},
+    "N-RDAE": {"window": 20, "epochs": 2},
+}
+
+ABLATION_CASES = {
+    "RAE_FC": {"max_iterations": 3},
+    "RDAE-f1": {"window": 20, "max_outer": 1, "inner_iterations": 2,
+                "series_iterations": 2},
+    "RDAE-f2": {"window": 20, "max_outer": 1, "inner_iterations": 2},
+    "RDAE+MA": {"window": 20, "max_outer": 1, "inner_iterations": 2,
+                "series_iterations": 2},
+    "RDAE_FC": {"window": 20, "max_outer": 1, "inner_iterations": 2,
+                "series_iterations": 2},
+}
+
+
+def assert_identical_fit(a, b, series):
+    assert np.array_equal(a.score(series), b.score(series))
+    assert np.array_equal(a.clean_series, b.clean_series)
+    if getattr(a, "trace_", None) is not None:
+        assert a.trace_.rmse == b.trace_.rmse
+        assert a.trace_.condition1 == b.trace_.condition1
+        assert a.trace_.condition2 == b.trace_.condition2
+        assert a.trace_.converged == b.trace_.converged
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY_CASES))
+def test_registry_method_tape_bit_equal(name):
+    series = small_series(dims=1 if "RDAE" in name else 2)
+    make = lambda: make_detector(name, seed=3, **REGISTRY_CASES[name])
+    taped = fit_with_tape(make, series, True)
+    eager = fit_with_tape(make, series, False)
+    assert_identical_fit(taped, eager, series)
+
+
+@pytest.mark.parametrize("name", sorted(ABLATION_CASES))
+def test_ablation_tape_bit_equal(name):
+    series = small_series(seed=5)
+    make = lambda: make_ablation(name, seed=7, **ABLATION_CASES[name])
+    taped = fit_with_tape(make, series, True)
+    eager = fit_with_tape(make, series, False)
+    assert_identical_fit(taped, eager, series)
+
+
+def test_rae_tape_actually_replays(monkeypatch):
+    """Guard for the whole contract suite: the default fit path really goes
+    through recorded-tape replays (otherwise the equality tests compare
+    eager with eager)."""
+    replays = []
+    original = nntape.TrainStepTape._replay_step
+
+    def counting(self, inputs, target):
+        replays.append(1)
+        return original(self, inputs, target)
+
+    monkeypatch.setattr(nntape.TrainStepTape, "_replay_step", counting)
+    series = small_series()
+    detector = fit_with_tape(lambda: RAE(max_iterations=4, seed=1),
+                             series, True)
+    assert len(replays) > 0
+    # Fit releases the recorded graph once done (it retains MBs of buffers).
+    assert detector.model_.__dict__.get("_tape_cache") is None
+
+
+def test_tape_and_eager_state_dicts_match():
+    series = small_series()
+    taped = fit_with_tape(lambda: RAE(max_iterations=3, seed=2), series, True)
+    eager = fit_with_tape(lambda: RAE(max_iterations=3, seed=2), series, False)
+    st, se = taped.model_.state_dict(), eager.model_.state_dict()
+    assert st.keys() == se.keys()
+    for key in st:
+        assert np.array_equal(st[key], se[key]), key
+
+
+def test_score_new_unaffected_by_training_mode():
+    series = small_series()
+    fresh = small_series(seed=11)
+    taped = fit_with_tape(lambda: RAE(max_iterations=3, seed=4), series, True)
+    eager = fit_with_tape(lambda: RAE(max_iterations=3, seed=4), series, False)
+    assert np.array_equal(taped.score_new(fresh), eager.score_new(fresh))
+
+
+# --------------------------------------------------------------------- #
+# Parallel ensemble fits
+# --------------------------------------------------------------------- #
+
+def test_ensemble_n_jobs_matches_serial():
+    series = small_series(length=150)
+    kwargs = dict(base="rae", n_members=3, max_iterations=2, seed=9)
+    serial = RobustEnsemble(n_jobs=1, **kwargs).fit(series)
+    threaded = RobustEnsemble(n_jobs=3, **kwargs).fit(series)
+    assert np.array_equal(serial.score(series), threaded.score(series))
+    assert np.array_equal(serial.clean_series, threaded.clean_series)
+    for a, b in zip(serial.members_, threaded.members_):
+        assert a.seed == b.seed
+        assert a.kernels == b.kernels and a.kernel_size == b.kernel_size
+        assert np.array_equal(a.score(series), b.score(series))
+
+
+def test_ensemble_n_jobs_all_cpus():
+    series = small_series(length=120)
+    ens = RobustEnsemble(base="rae", n_members=2, max_iterations=1,
+                         n_jobs=-1, seed=1).fit(series)
+    assert len(ens.members_) == 2
+    assert np.isfinite(ens.score(series)).all()
+
+
+def test_ensemble_member_failure_propagates():
+    with pytest.raises(ValueError):
+        RobustEnsemble(base="rae", n_members=2, n_jobs=2,
+                       max_iterations=1).fit(np.zeros((2, 2, 2)))
