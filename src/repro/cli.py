@@ -9,6 +9,7 @@ Usage::
     python -m repro demo --method RAE
     python -m repro stream --method RAE --input - --train 200 --window 128
     python -m repro serve --model rae.npz --input - --state-dir state/ --workers 4
+    python -m repro serve --model rae.npz --tcp 9000 --http 9001 --drain-backend process
 
 ``detect`` reads a CSV whose columns are the series dimensions (an optional
 header row is auto-detected), computes per-observation outlier scores, and
@@ -259,12 +260,33 @@ def build_parser():
                        help="backpressure policy when the queue is full")
     serve.add_argument("--drain-every", type=int, default=32,
                        help="arrivals buffered between scoring drains")
-    serve.add_argument("--workers", type=int, default=1,
-                       help="drain worker threads; >1 selects the "
-                            "'threaded' drain backend (same-detector "
-                            "shard groups scored concurrently — applies "
-                            "to restored routers too, it only changes "
-                            "where forwards run, never their results)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="drain worker count; with --drain-backend auto, "
+                            ">1 selects the 'threaded' backend (same-"
+                            "detector shard groups scored concurrently — "
+                            "applies to restored routers too, it only "
+                            "changes where forwards run, never their "
+                            "results)")
+    serve.add_argument("--drain-backend", default="auto",
+                       choices=("auto", "serial", "threaded", "process"),
+                       help="where drains score their shard groups: on the "
+                            "calling thread (serial), a thread pool "
+                            "(threaded), or a pool of worker processes "
+                            "sharing mmap'd weights (process); 'auto' "
+                            "(default) picks threaded when --workers > 1. "
+                            "All backends score bit-identically")
+    serve.add_argument("--tcp", type=int, metavar="PORT",
+                       help="serve the 'stream_id,value...' line protocol "
+                            "on this TCP port (0 picks an ephemeral port); "
+                            "replaces the --input loop — the process runs "
+                            "until SIGTERM, which drains and shuts down")
+    serve.add_argument("--http", type=int, metavar="PORT",
+                       help="serve the JSON batch API on this HTTP port "
+                            "(POST /submit, GET /stats; 0 picks an "
+                            "ephemeral port); combinable with --tcp")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --tcp/--http "
+                            "(default: 127.0.0.1)")
     serve.add_argument("--output", help="output CSV path (default: stdout)")
     return parser
 
@@ -493,13 +515,22 @@ def _run_serve(args):
               "default detector restores from its own weights (saved "
               "weights always win; start a fresh --state-dir to serve a "
               "new model)", file=sys.stderr)
-    workers = max(int(args.workers), 1)
+    workers = args.workers if args.workers is None else max(int(args.workers), 1)
+    if args.drain_backend == "auto":
+        # Auto keeps the historical contract: --workers > 1 means threaded,
+        # anything else serial — and, on a restored router, "no execution
+        # flags" keeps the backend the router was SAVED with.
+        backend = (None if workers is None
+                   else ("threaded" if workers > 1 else "serial"))
+    else:
+        backend = args.drain_backend
     if restorable:
-        # --workers is an execution knob (where forwards run), so unlike
-        # the semantic flags it DOES apply to a restored router.
+        # --workers/--drain-backend are execution knobs (where forwards
+        # run), so unlike the semantic flags they DO apply to a restored
+        # router.
         router = StreamRouter.restore(
             args.state_dir, detector=override,
-            drain_backend="threaded" if workers > 1 else "serial",
+            drain_backend=backend,
             workers=workers,
         )
         detector = router.detector if router.detector is not None else override
@@ -517,12 +548,15 @@ def _run_serve(args):
             window=args.window,
             queue_limit=args.queue_limit,
             on_full=args.on_full.replace("-", "_"),
+            drain_backend=backend,
             workers=workers,
         )
     else:
         raise SystemExit("serve needs --model or --train-input (or a "
                          "--state-dir holding a saved router) — a shared "
                          "detector to serve every stream with")
+    if args.tcp is not None or args.http is not None:
+        return _serve_network(args, router, detector)
     # Output indices continue where the previous process stopped.
     emitted = {stream_id: router.stream_stats(stream_id)["scored"]
                for stream_id in router.streams()}
@@ -609,6 +643,78 @@ def _run_serve(args):
                       file=sys.stderr)
         _print_router_stats(router, router.window, detector)
         router.close()  # stop the threaded backend's workers, if any
+    return 0
+
+
+def _serve_network(args, router, detector):
+    """Serve the router over TCP/HTTP until SIGTERM (or SIGINT).
+
+    Scores flow back to the submitting connections (see
+    :mod:`repro.serve.frontend`), not to stdout; shutdown is graceful —
+    the buffered tail is drained and delivered to still-connected
+    clients, the router state is saved (with ``--state-dir``), and the
+    usual per-stream stats are printed.
+    """
+    import signal
+    import threading
+
+    from .serve import FrontendEngine, HttpFrontend, TcpFrontend
+
+    engine = FrontendEngine(
+        router,
+        drain_every=int(np.clip(args.drain_every, 1, router.queue_limit)),
+    )
+    frontends, previous = [], {}
+    stop = threading.Event()
+    try:
+        if args.tcp is not None:
+            tcp = TcpFrontend(engine, host=args.host, port=args.tcp).start()
+            frontends.append(tcp)
+            print("serving TCP line protocol on %s:%d" % tcp.address,
+                  file=sys.stderr, flush=True)
+        if args.http is not None:
+            http = HttpFrontend(engine, host=args.host, port=args.http).start()
+            frontends.append(http)
+            print("serving HTTP batch API on %s:%d" % http.address,
+                  file=sys.stderr, flush=True)
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(
+                signum, lambda *__: stop.set()
+            )
+        print("ready (drain-every=%d, backend=%s); SIGTERM drains and "
+              "shuts down" % (engine.drain_every, router.drain_backend),
+              file=sys.stderr, flush=True)
+        stop.wait()
+        print("shutting down: draining buffered arrivals", file=sys.stderr)
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        for frontend in frontends:
+            # stop() drains and delivers the tail before disconnecting.
+            try:
+                frontend.stop()
+            except Exception as exc:  # noqa: BLE001 - keep shutting down
+                print("warning: frontend shutdown failed: %s" % exc,
+                      file=sys.stderr)
+        front_stats = engine.stats()["frontend"]
+        if front_stats["error_total"]:
+            print("rejected %d malformed/refused submission(s): %s"
+                  % (front_stats["error_total"], front_stats["errors"]),
+                  file=sys.stderr)
+        if args.state_dir:
+            unwinding = sys.exc_info()[0] is not None
+            try:
+                router.save(args.state_dir)
+                print("saved router state to %s (restart with the same "
+                      "--state-dir to resume)" % args.state_dir,
+                      file=sys.stderr)
+            except Exception as exc:
+                if not unwinding:
+                    raise
+                print("warning: could not save router state: %s" % exc,
+                      file=sys.stderr)
+        _print_router_stats(router, router.window, detector)
+        router.close()
     return 0
 
 

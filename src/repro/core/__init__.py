@@ -12,6 +12,7 @@ from .autoencoders import (
 from .convergence import ConvergenceTrace, stopping_conditions
 from .ensemble import RobustEnsemble
 from .persistence import (
+    WeightStore,
     load_detector,
     load_pipeline,
     save_detector,
@@ -35,6 +36,7 @@ __all__ = [
     "RobustEnsemble",
     "save_detector",
     "load_detector",
+    "WeightStore",
     "save_pipeline",
     "load_pipeline",
     "ScoringSession",

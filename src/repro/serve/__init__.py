@@ -6,14 +6,37 @@ arrivals in a bounded ingestion queue, and drains bursts as micro-batches —
 shards that share a fitted RAE/RDAE are refreshed through one grouped
 forward pass per drain (:func:`repro.core.batched_session_scores`), each
 contributing only the receptive-field-bounded window tail its arrivals can
-change.  ``submit``/``stats`` are thread-safe, and drains come in two
-backends — ``serial`` and ``threaded`` (same-detector shard groups scored
-concurrently on a worker pool; see the :mod:`.router` concurrency
-contract).  The ``repro serve`` CLI subcommand speaks a
-``stream_id,value...`` line protocol over the same router
-(``--workers N`` selects the threaded backend).
+change.  ``submit``/``stats`` are thread-safe, and drains come in three
+backends — ``serial``, ``threaded`` (same-detector shard groups scored
+concurrently on a worker *thread* pool; see the :mod:`.router` concurrency
+contract), and ``process`` (a persistent worker-*process* pool fed through
+shared-memory arenas and an mmap'd read-only weight store; see
+:mod:`.workers`) — all bit-identical in what they score.
+
+Remote traffic reaches the router through :mod:`.frontend`: the ``repro
+serve`` CLI subcommand speaks a ``stream_id,value...`` line protocol on
+stdin, over TCP (``--tcp PORT``), and as a JSON batch API over HTTP
+(``--http PORT``: ``POST /submit`` + ``GET /stats``), with graceful
+drain-and-shutdown on SIGTERM.
 """
 
-from .router import DrainError, QueueFullError, StreamRouter
+from .frontend import FrontendEngine, HttpFrontend, TcpFrontend
+from .router import (
+    DrainError,
+    QueueFullError,
+    StreamRouter,
+    score_shard_group,
+)
+from .workers import ProcessDrainPool, WorkerCrashError
 
-__all__ = ["StreamRouter", "QueueFullError", "DrainError"]
+__all__ = [
+    "StreamRouter",
+    "QueueFullError",
+    "DrainError",
+    "score_shard_group",
+    "ProcessDrainPool",
+    "WorkerCrashError",
+    "FrontendEngine",
+    "TcpFrontend",
+    "HttpFrontend",
+]

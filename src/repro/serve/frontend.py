@@ -1,0 +1,479 @@
+"""Network frontends for :class:`repro.serve.StreamRouter`.
+
+The router scores whatever is queued when ``drain()`` runs; a *frontend* is
+what stands between remote producers and that queue.  The split here:
+
+:class:`FrontendEngine`
+    Transport-agnostic core shared by every frontend (and the CLI's stdin
+    loop).  It parses the ``stream_id,value...`` line protocol, counts
+    malformed input per stream instead of crashing, triggers drains every
+    ``drain_every`` accepted arrivals, and — the part a socket server
+    actually needs — *routes scores back to whoever submitted the
+    arrivals*: every accepted arrival is attributed to its ``origin`` in a
+    per-stream segment list, and after a drain each origin's registered
+    sink receives exactly its own ``(stream, index, score)`` rows, in
+    order.  Indices continue across restarts (seeded from the router's
+    ``scored`` counters), and a stream that fails to drain keeps its
+    segments — the router re-queues its arrivals at the queue front, so
+    attribution stays aligned for the retry.
+
+:class:`TcpFrontend`
+    Line protocol over TCP, one thread per connection: send
+    ``stream_id,v1[,v2...]`` lines, receive ``stream,index,score`` lines
+    for your own submissions; ``?stats`` returns a JSON stats document,
+    ``?drain`` forces a drain; malformed lines get an ``ERR ...`` reply
+    and a per-stream error count, never a dropped connection.
+
+:class:`HttpFrontend`
+    JSON batch API: ``POST /submit`` with ``{"arrivals": [{"stream": id,
+    "values": ...}]}`` scores the batch and answers with its scores;
+    ``GET /stats`` returns the same stats document.
+
+Both servers bind ``port=0``-style ephemeral ports (``address`` reports
+the real one), run in daemon threads, and ``stop()`` drains the buffered
+tail — delivering final scores to still-connected clients — before
+closing connections.  Signal wiring (SIGTERM → ``stop()``) lives in the
+CLI, which owns the main thread.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .router import DrainError
+
+__all__ = ["FrontendEngine", "TcpFrontend", "HttpFrontend"]
+
+
+class FrontendEngine:
+    """Shared submit/drain/deliver core for every serving frontend.
+
+    Thread-safe throughout: any number of connection threads may submit
+    and trigger drains concurrently (drains serialise on the router's own
+    drain lock; segment bookkeeping on the engine lock).
+    """
+
+    def __init__(self, router, drain_every=32):
+        self.router = router
+        self.drain_every = max(int(drain_every), 1)
+        self._lock = threading.Lock()
+        self._sinks = {}  # origin -> callable(rows)
+        self._segments = {}  # stream_id -> deque of [origin, count]
+        self._emitted = {}  # stream_id -> next output index
+        self._errors = {}  # stream_id -> malformed/rejected submissions
+        self._dropped_seen = {}  # stream_id -> router drop count reconciled
+        self._failed = {}  # stream_id -> last drain failure (str)
+        self._pending = 0  # engine-submitted arrivals not yet drained
+        self._unrouted = 0  # scores with no owning origin (pre-engine queue)
+
+    # ------------------------------------------------------------------ #
+    # origins
+    def register(self, origin, sink):
+        """Deliver ``origin``'s future scores to ``sink(rows)``."""
+        with self._lock:
+            self._sinks[origin] = sink
+
+    def unregister(self, origin):
+        with self._lock:
+            self._sinks.pop(origin, None)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    def count_error(self, stream_id):
+        """Charge one malformed/rejected submission to ``stream_id``."""
+        with self._lock:
+            self._errors[stream_id] = self._errors.get(stream_id, 0) + 1
+
+    def submit_rows(self, origin, stream_id, rows):
+        """Enqueue ``rows`` (``(n, dims)`` or ``(n,)``) for ``stream_id``.
+
+        Returns the number of arrivals accepted.  Rows are submitted one
+        by one so that a mid-chunk rejection (queue full, dimension
+        mismatch) still attributes the already-accepted prefix to
+        ``origin`` before the exception propagates — scores and segments
+        can never drift apart.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim == 0:
+            rows = rows.reshape(1, 1)
+        if rows.ndim == 1:
+            rows = rows[:, None]
+        accepted = 0
+        try:
+            for row in rows:
+                self.router.submit(stream_id, row)
+                accepted += 1
+        finally:
+            if accepted:
+                with self._lock:
+                    segments = self._segments.setdefault(stream_id, deque())
+                    if segments and segments[-1][0] is origin:
+                        segments[-1][1] += accepted
+                    else:
+                        segments.append([origin, accepted])
+                    self._pending += accepted
+        return accepted
+
+    def submit_line(self, origin, line):
+        """Parse one ``stream_id,v1[,v2...]`` line and enqueue it.
+
+        Returns ``None`` on success, else an error message — malformed
+        input is a counted, reported event, never an exception (a bad
+        producer must not crash the serving loop).
+        """
+        line = line.strip()
+        if not line:
+            return None
+        cells = line.split(",")
+        stream_id = cells[0].strip()
+        if not stream_id or len(cells) < 2:
+            self.count_error(stream_id or "<blank>")
+            return "malformed line: expected 'stream_id,v1[,v2...]'"
+        try:
+            row = [float(cell) for cell in cells[1:]]
+        except ValueError:
+            self.count_error(stream_id)
+            return ("malformed line for stream %r: non-numeric value"
+                    % stream_id)
+        try:
+            self.submit_rows(origin, stream_id, [row])
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            self.count_error(stream_id)
+            return "rejected arrival for stream %r: %s" % (stream_id, exc)
+        return None
+
+    # ------------------------------------------------------------------ #
+    # draining
+    def maybe_drain(self):
+        """Drain when ``drain_every`` arrivals have accumulated."""
+        with self._lock:
+            due = self._pending >= self.drain_every
+        return self.drain() if due else {}
+
+    def drain(self):
+        """Drain the router and deliver each origin's scores to its sink.
+
+        Returns ``{origin: [(stream_id, index, score), ...]}``.  Shard
+        failures do not raise here — the router has already re-queued the
+        failing streams' arrivals (so their segments stay, aligned for the
+        retry) and the failures are surfaced through :meth:`stats`.
+        """
+        try:
+            results = self.router.drain()
+            failures = {}
+        except DrainError as exc:
+            results, failures = exc.results, exc.failures
+        stats = self.router.stats()
+        per_stream = stats["per_stream"]
+        deliveries = {}
+        with self._lock:
+            self._pending = stats["queue_depth"]
+            self._failed = {stream_id: str(exc)
+                            for stream_id, exc in failures.items()}
+            # Reconcile drop_oldest evictions first: the dropped arrivals
+            # were the oldest queued, i.e. the front of their segments.
+            for stream_id, entry in per_stream.items():
+                delta = entry["dropped"] - self._dropped_seen.get(stream_id, 0)
+                if delta:
+                    self._trim_segments(stream_id, delta)
+                self._dropped_seen[stream_id] = entry["dropped"]
+            for stream_id, scores in results.items():
+                start = self._emitted.get(stream_id)
+                if start is None:
+                    # First sight of this stream: seed so indices continue
+                    # where a previous process (restored router) stopped.
+                    start = per_stream[stream_id]["scored"] - len(scores)
+                segments = self._segments.get(stream_id)
+                offset = 0
+                while segments and offset < len(scores):
+                    origin, count = segments[0]
+                    take = min(count, len(scores) - offset)
+                    rows = deliveries.setdefault(origin, [])
+                    for k in range(take):
+                        rows.append((stream_id, start + offset + k,
+                                     float(scores[offset + k])))
+                    offset += take
+                    if take == count:
+                        segments.popleft()
+                    else:
+                        segments[0][1] = count - take
+                if offset < len(scores):
+                    # Arrivals queued before this engine existed (e.g. a
+                    # restored router's backlog) have no origin to claim
+                    # their scores.
+                    self._unrouted += len(scores) - offset
+                self._emitted[stream_id] = start + len(scores)
+            sinks = dict(self._sinks)
+        # Deliver outside the engine lock: a sink is a socket write and
+        # must never block other producers' submissions.
+        for origin, rows in deliveries.items():
+            sink = sinks.get(origin)
+            if sink is None:
+                continue
+            try:
+                sink(rows)
+            except Exception:  # noqa: BLE001 - a dead client loses only
+                pass  # its own rows; the frontend unregisters it on exit
+        return deliveries
+
+    def _trim_segments(self, stream_id, count):
+        segments = self._segments.get(stream_id)
+        while segments and count:
+            take = min(segments[0][1], count)
+            segments[0][1] -= take
+            count -= take
+            if not segments[0][1]:
+                segments.popleft()
+
+    # ------------------------------------------------------------------ #
+    def stats(self):
+        """Router stats plus a ``frontend`` block; JSON-serialisable."""
+        stats = self.router.stats()
+        with self._lock:
+            stats["frontend"] = {
+                "pending": self._pending,
+                "errors": dict(self._errors),
+                "error_total": sum(self._errors.values()),
+                "failed_streams": dict(self._failed),
+                "unrouted_scores": self._unrouted,
+            }
+        return stats
+
+
+# ---------------------------------------------------------------------- #
+# TCP: the stdin line protocol, networked
+
+
+class _TcpHandler(socketserver.StreamRequestHandler):
+    def handle(self):
+        frontend = self.server.frontend
+        engine = frontend.engine
+        self._write_lock = threading.Lock()
+        engine.register(self, self._deliver)
+        frontend._track(self)
+        try:
+            for raw in self.rfile:
+                line = raw.decode("utf-8", "replace").strip()
+                if not line:
+                    continue
+                if line.startswith("?"):
+                    self._command(line, engine)
+                    continue
+                error = engine.submit_line(self, line)
+                if error is not None:
+                    self._write_lines(["ERR %s" % error])
+                else:
+                    engine.maybe_drain()
+            # Input exhausted (client half-closed, or a graceful stop shut
+            # our read side): score whatever this connection still has in
+            # flight and deliver it before the write side goes away.
+            engine.drain()
+        finally:
+            engine.unregister(self)
+            frontend._untrack(self)
+
+    def _command(self, line, engine):
+        if line == "?stats":
+            self._write_lines([json.dumps(engine.stats(), sort_keys=True)])
+        elif line == "?drain":
+            engine.drain()  # our rows arrive through _deliver
+            self._write_lines(["OK"])
+        else:
+            self._write_lines(["ERR unknown command %r" % line])
+
+    def _deliver(self, rows):
+        self._write_lines(
+            "%s,%d,%.10g" % (stream_id, index, score)
+            for stream_id, index, score in rows
+        )
+
+    def _write_lines(self, lines):
+        payload = "".join("%s\n" % line for line in lines).encode()
+        if not payload:
+            return
+        with self._write_lock:
+            self.wfile.write(payload)
+            self.wfile.flush()
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class TcpFrontend:
+    """Serve the line protocol over TCP; see the module docstring."""
+
+    def __init__(self, engine, host="127.0.0.1", port=0):
+        self.engine = engine
+        self._server = _TcpServer((host, int(port)), _TcpHandler)
+        self._server.frontend = self
+        self._clients = set()
+        self._clients_lock = threading.Lock()
+        self._thread = None
+
+    @property
+    def address(self):
+        """``(host, port)`` actually bound (port 0 picks an ephemeral one)."""
+        return self._server.server_address[:2]
+
+    def _track(self, handler):
+        with self._clients_lock:
+            self._clients.add(handler)
+
+    def _untrack(self, handler):
+        with self._clients_lock:
+            self._clients.discard(handler)
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-tcp-frontend", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout=5.0):
+        """Graceful shutdown: drain-and-deliver, then disconnect.
+
+        Connected clients' *read* sides are shut first, so their handler
+        threads see EOF, run the final drain, and deliver every score for
+        what the client had submitted over the still-open write side —
+        then the connections close cleanly.
+        """
+        self._server.shutdown()  # stop accepting new connections
+        with self._clients_lock:
+            clients = list(self._clients)
+        for handler in clients:
+            try:
+                handler.connection.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._clients_lock:
+                if not self._clients:
+                    break
+            time.sleep(0.01)
+        # The tail of any producer that is not a TCP connection (stdin
+        # loop, HTTP batches with drain=false).
+        self.engine.drain()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+
+# ---------------------------------------------------------------------- #
+# HTTP: JSON batch submit + stats
+
+
+class _HttpHandler(BaseHTTPRequestHandler):
+    def log_message(self, *args):  # noqa: D102 - silence default stderr log
+        pass
+
+    def _json(self, code, payload):
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self):
+        if self.path.split("?")[0] == "/stats":
+            self._json(200, self.server.frontend.engine.stats())
+        else:
+            self._json(404, {"error": "unknown path %r; GET /stats or "
+                                      "POST /submit" % self.path})
+
+    def do_POST(self):
+        if self.path.split("?")[0] != "/submit":
+            self._json(404, {"error": "unknown path %r; POST /submit"
+                             % self.path})
+            return
+        engine = self.server.frontend.engine
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            document = json.loads(self.rfile.read(length) or b"{}")
+        except (ValueError, TypeError):
+            self._json(400, {"error": "body is not valid JSON"})
+            return
+        arrivals = document.get("arrivals")
+        if not isinstance(arrivals, list):
+            self._json(400, {"error": "body must be {\"arrivals\": "
+                                      "[{\"stream\": id, \"values\": ...}]}"})
+            return
+        origin = object()
+        collected = []
+        engine.register(origin, collected.extend)
+        errors, accepted = [], 0
+        try:
+            for i, arrival in enumerate(arrivals):
+                stream_id = (arrival.get("stream")
+                             if isinstance(arrival, dict) else None)
+                values = (arrival.get("values")
+                          if isinstance(arrival, dict) else None)
+                if not isinstance(stream_id, str) or values is None:
+                    engine.count_error(str(stream_id) if stream_id
+                                       else "<invalid>")
+                    errors.append({"arrival": i, "error":
+                                   "need {\"stream\": str, \"values\": ...}"})
+                    continue
+                try:
+                    accepted += engine.submit_rows(origin, stream_id, values)
+                except Exception as exc:  # noqa: BLE001 - per-arrival report
+                    engine.count_error(stream_id)
+                    errors.append({"arrival": i, "stream": stream_id,
+                                   "error": str(exc)})
+            if document.get("drain", True):
+                engine.drain()
+        finally:
+            engine.unregister(origin)
+        self._json(200, {
+            "accepted": accepted,
+            "scores": [{"stream": stream_id, "index": index, "score": score}
+                       for stream_id, index, score in collected],
+            "errors": errors,
+        })
+
+
+class _HttpServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+
+class HttpFrontend:
+    """Serve the JSON batch API over HTTP; see the module docstring."""
+
+    def __init__(self, engine, host="127.0.0.1", port=0):
+        self.engine = engine
+        self._server = _HttpServer((host, int(port)), _HttpHandler)
+        self._server.frontend = self
+        self._thread = None
+
+    @property
+    def address(self):
+        return self._server.server_address[:2]
+
+    def start(self):
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-http-frontend", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self):
+        """Graceful shutdown: drain the buffered tail, then close."""
+        self.engine.drain()
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)

@@ -50,10 +50,12 @@ import numpy as np
 from ..core import batched_session_scores
 from ..stream import StreamScorer
 
-__all__ = ["StreamRouter", "QueueFullError", "DrainError"]
+__all__ = ["StreamRouter", "QueueFullError", "DrainError", "score_shard_group"]
 
 _MANIFEST = "router.json"
 _STATE = "state.npz"
+
+_BACKENDS = ("serial", "threaded", "process")
 
 
 class QueueFullError(RuntimeError):
@@ -76,6 +78,97 @@ class DrainError(RuntimeError):
         self.failures = failures
 
 
+def reset_scorer_state(scorer, state):
+    """Force ``scorer`` to exactly the retained state ``state``.
+
+    Unlike :meth:`repro.stream.StreamScorer.load_state_dict` (which treats
+    an ``empty`` state as "nothing to restore"), this also *clears* live
+    state when the target is empty — the semantics both the fault-isolation
+    rollback and the process backend's workers need: after it, the scorer
+    is indistinguishable from one that only ever saw ``state``.
+    """
+    if state["kind"] == "empty":
+        scorer._session = None
+        scorer._ring = None
+        return scorer
+    return scorer.load_state_dict(state)
+
+
+def score_shard_group(shards, items, batch_size):
+    """Score one same-detector shard group: ``items = [(stream_id, rows)]``.
+
+    The worker unit of every drain backend — the serial path runs it on the
+    calling thread, the threaded pool on worker threads, and the process
+    backend ships it (with each shard's state) to a worker process, which
+    runs this very function.  Ingests each stream's pending points as one
+    micro-batch, then refreshes the group's session-backed shards through
+    grouped *tail* forwards (:func:`repro.core.batched_session_scores` with
+    the chunk sizes) — bounded slices for receptive-field-capable
+    architectures, full windows otherwise.  Touches only the ``shards``
+    mapping it is given, never a queue or counters, so groups score
+    concurrently without locks.
+
+    Fault isolation covers the whole shard lifecycle: a stream that fails
+    to *ingest* (e.g. an unfitted detector) never mutated its shard, and a
+    stream whose detector fails while *scoring* is rolled back to its
+    pre-chunk state (:func:`reset_scorer_state` of a snapshot), so the
+    caller can re-queue its rows without double-ingesting them on the next
+    drain.  When a faulty detector poisons a *grouped* forward, the group
+    falls back to per-shard scoring so only the faulty stream(s) fail —
+    bit-identically for the healthy ones (stable kernels make each
+    position's arithmetic independent of the stacked batch).
+
+    Returns ``(results, failures)`` where failures map stream ids to
+    ``(exception, rows)`` so the caller can re-queue.
+    """
+    results, failures, deferred = {}, {}, []
+    for stream_id, rows in items:
+        scorer = shards[stream_id]
+        # Pre-chunk snapshot: scoring failures must roll the shard back so
+        # the re-queued rows are not double-ingested on the next drain.
+        # (Ingest failures need no rollback — _ingest_chunk validates
+        # before it mutates.)
+        snapshot = scorer.state_dict()
+        try:
+            n, needs_scores = scorer._ingest_chunk(np.stack(rows))
+        except Exception as exc:  # noqa: BLE001 - isolate faulty shards
+            failures[stream_id] = (exc, rows)
+            continue
+        if not needs_scores:
+            results[stream_id] = np.zeros(n)
+        elif scorer._session is not None:
+            deferred.append((stream_id, scorer, n, snapshot))
+        else:
+            try:
+                results[stream_id] = scorer._collect_chunk(
+                    n, scorer._window_scores()
+                )
+            except Exception as exc:  # noqa: BLE001
+                reset_scorer_state(scorer, snapshot)
+                failures[stream_id] = (exc, rows)
+    if deferred:
+        sessions = [scorer._session for __, scorer, __n, __s in deferred]
+        counts = [n for __, __s, n, __snap in deferred]
+        try:
+            tails = batched_session_scores(
+                sessions, batch_size=batch_size, tail=counts
+            )
+        except Exception:  # noqa: BLE001 - a faulty detector in the stack
+            rows_by_stream = dict(items)
+            for stream_id, scorer, n, snapshot in deferred:
+                try:
+                    results[stream_id] = scorer._collect_chunk(
+                        n, scorer._session.last_scores(n)
+                    )
+                except Exception as exc:  # noqa: BLE001
+                    reset_scorer_state(scorer, snapshot)
+                    failures[stream_id] = (exc, rows_by_stream[stream_id])
+        else:
+            for (stream_id, scorer, n, __snap), tail in zip(deferred, tails):
+                results[stream_id] = scorer._collect_chunk(n, tail)
+    return results, failures
+
+
 class StreamRouter:
     """Route named streams to scorer shards; score bursts as micro-batches.
 
@@ -94,12 +187,19 @@ class StreamRouter:
         make room and counts it against its stream's ``dropped`` stat.
     batch_size: maximum shards stacked into one grouped forward per drain.
     drain_backend: ``'serial'`` (default — score the burst on the calling
-        thread, today's behaviour) or ``'threaded'`` (score same-detector
-        shard groups concurrently on a worker pool; useful when shards
-        serve *independent* detectors, whose forwards cannot share a
-        grouped pass).  ``None`` picks ``'threaded'`` when ``workers > 1``.
-    workers: worker-pool size for the threaded backend (default 4 when
-        ``drain_backend='threaded'``; ignored by ``'serial'``).
+        thread), ``'threaded'`` (score same-detector shard groups
+        concurrently on a worker *thread* pool — overlaps NumPy/BLAS work
+        but stays GIL-bound for the Python glue), or ``'process'`` (score
+        the groups on a pool of persistent worker **processes** — true
+        CPU parallelism; arrivals and shard state travel through
+        shared-memory arenas and fitted RAE/RDAE weights through an
+        mmap'd read-only :class:`repro.core.WeightStore`, so N workers
+        share one physical copy of each detector; see :mod:`.workers`).
+        All three backends produce bit-identical scores — they change
+        where forwards run, never what they compute.  ``None`` picks
+        ``'threaded'`` when ``workers > 1``.
+    workers: worker-pool size (default 4 for ``'threaded'``, 2 for
+        ``'process'``; ignored by ``'serial'``).
     """
 
     def __init__(self, detector=None, *, window=256, min_points=2,
@@ -129,14 +229,14 @@ class StreamRouter:
                 "threaded" if workers is not None and int(workers) > 1
                 else "serial"
             )
-        if drain_backend not in ("serial", "threaded"):
+        if drain_backend not in _BACKENDS:
             raise ValueError(
-                "drain_backend must be 'serial' or 'threaded', got %r"
-                % (drain_backend,)
+                "drain_backend must be one of %s, got %r"
+                % ("/".join(_BACKENDS), drain_backend)
             )
         self.drain_backend = drain_backend
         if workers is None:
-            workers = 4 if drain_backend == "threaded" else 1
+            workers = {"threaded": 4, "process": 2}.get(drain_backend, 1)
         self.workers = max(int(workers), 1)
         self._shards = {}
         self._dims = {}  # per-stream row width, fixed by the first arrival
@@ -151,6 +251,7 @@ class StreamRouter:
         self._lock = threading.RLock()
         self._drain_lock = threading.Lock()
         self._pool = None  # lazily-built worker pool (threaded backend)
+        self._procs = None  # lazily-built process pool (process backend)
 
     # ------------------------------------------------------------------ #
     # stream management
@@ -276,44 +377,8 @@ class StreamRouter:
     # ------------------------------------------------------------------ #
     # scoring
     def _score_group(self, items):
-        """Score one same-detector shard group: ``[(stream_id, rows)]``.
-
-        The worker unit of both drain backends.  Ingests each stream's
-        pending points as one micro-batch, then refreshes the group's
-        session-backed shards through grouped *tail* forwards
-        (:func:`repro.core.batched_session_scores` with the chunk sizes) —
-        bounded slices for receptive-field-capable architectures, full
-        windows otherwise.  Touches only its own shards, never the queue
-        or the counters, so groups score concurrently without locks.
-
-        Returns ``(results, failures)`` where failures map stream ids to
-        ``(exception, rows)`` so the caller can re-queue.
-        """
-        results, failures, deferred = {}, {}, []
-        for stream_id, rows in items:
-            scorer = self._shards[stream_id]
-            try:
-                n, needs_scores = scorer._ingest_chunk(np.stack(rows))
-            except Exception as exc:  # noqa: BLE001 - isolate faulty shards
-                failures[stream_id] = (exc, rows)
-                continue
-            if not needs_scores:
-                results[stream_id] = np.zeros(n)
-            elif scorer._session is not None:
-                deferred.append((stream_id, scorer, n))
-            else:
-                results[stream_id] = scorer._collect_chunk(
-                    n, scorer._window_scores()
-                )
-        if deferred:
-            tails = batched_session_scores(
-                [scorer._session for __, scorer, __n in deferred],
-                batch_size=self.batch_size,
-                tail=[n for __, __s, n in deferred],
-            )
-            for (stream_id, scorer, n), tail in zip(deferred, tails):
-                results[stream_id] = scorer._collect_chunk(n, tail)
-        return results, failures
+        """In-process scoring of one shard group (serial/threaded unit)."""
+        return score_shard_group(self._shards, items, self.batch_size)
 
     def _drain_pool(self):
         """The threaded backend's worker pool, built on first use."""
@@ -326,15 +391,57 @@ class StreamRouter:
             )
         return self._pool
 
-    def close(self):
-        """Shut down the threaded backend's worker pool (if it ever ran).
+    def _process_pool(self):
+        """The process backend's worker-process pool, built on first use."""
+        if self._procs is None:
+            from .workers import ProcessDrainPool
 
-        Serial routers need no cleanup; threaded routers should be closed
-        (or have their process exit) when serving stops.  Idempotent.
+            self._procs = ProcessDrainPool(self.workers)
+        return self._procs
+
+    def close(self):
+        """Shut down the drain backend's workers (if they ever ran).
+
+        Serial routers need no cleanup; threaded and process routers should
+        be closed (or have their process exit) when serving stops — the
+        process backend additionally removes its weight-store spool
+        directory and shared-memory arenas.  Idempotent.
         """
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        procs, self._procs = self._procs, None
+        if procs is not None:
+            procs.close()
+
+    def _drain_process(self, group_list):
+        """Score the burst's shard groups on the worker-process pool.
+
+        Each group travels to one worker as (stream config, shard state,
+        pending rows); the worker rebuilds the shards — detector weights
+        from the shared mmap'd store, state from the shipped arrays — runs
+        :func:`score_shard_group`, and returns scores plus the post-ingest
+        shard states, which are installed back into the parent's shards.
+        The parent therefore stays authoritative: shard state advances
+        only on success, so a crashed worker (its group's streams come
+        back as :class:`repro.serve.workers.WorkerCrashError` failures,
+        and the pool has already respawned a replacement) leaves the
+        parent exactly as before the drain — re-queued arrivals replay
+        with zero loss or duplication.
+        """
+        packed = self._process_pool().score_groups(
+            self._shards, group_list, self.batch_size
+        )
+        scored = []
+        for group, (results, failures, states) in zip(group_list, packed):
+            rows_by_sid = dict(group)
+            for stream_id, state in states.items():
+                self._shards[stream_id].load_state_dict(state)
+            scored.append((results, {
+                stream_id: (exc, rows_by_sid[stream_id])
+                for stream_id, exc in failures.items()
+            }))
+        return scored
 
     def drain(self, max_points=None):
         """Score queued arrivals; returns ``{stream_id: scores}``.
@@ -376,7 +483,9 @@ class StreamRouter:
                 key = id(self._shards[stream_id].detector)
                 groups.setdefault(key, []).append((stream_id, rows))
             group_list = list(groups.values())
-            if self.drain_backend == "threaded" and len(group_list) > 1:
+            if self.drain_backend == "process":
+                scored = self._drain_process(group_list)
+            elif self.drain_backend == "threaded" and len(group_list) > 1:
                 futures = [self._drain_pool().submit(self._score_group, group)
                            for group in group_list]
                 scored = [future.result() for future in futures]

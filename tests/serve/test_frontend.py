@@ -1,0 +1,362 @@
+"""TCP/HTTP serving frontends: protocol round-trips, bad input, shutdown.
+
+All sockets bind port 0 (ephemeral) and talk over loopback; every test
+tears its frontend down, so the suite is safe to run anywhere.  Malformed
+traffic must surface as counted, per-stream error events and ``ERR``/400
+replies — never as a dropped connection or a crashed serving loop.
+"""
+
+import json
+import socket
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    DrainError,
+    FrontendEngine,
+    HttpFrontend,
+    StreamRouter,
+    TcpFrontend,
+)
+
+POISON = -86486486.0
+
+
+class AbsDetector:
+    """score = |x| summed per row: cheap, deterministic, stateless."""
+
+    stateless_scoring = True
+
+    def fit(self, X):
+        return self
+
+    def score(self, X):
+        X = np.asarray(X, dtype=np.float64)
+        if np.any(X == POISON):
+            raise RuntimeError("tripwire: poison value in window")
+        return np.abs(X).sum(axis=1)
+
+
+def make_engine(drain_every=100, **router_kwargs):
+    router = StreamRouter(AbsDetector(), window=16, min_points=2,
+                          **router_kwargs)
+    return FrontendEngine(router, drain_every=drain_every)
+
+
+def wait_pending(engine, n, timeout=5.0):
+    """Block until ``n`` arrivals are queued (cross-connection ordering)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if engine.router.stats()["queue_depth"] >= n:
+            return
+        time.sleep(0.01)
+    raise AssertionError("queue never reached %d arrivals" % n)
+
+
+# ---------------------------------------------------------------------- #
+# FrontendEngine
+
+
+def test_engine_routes_each_origin_its_own_scores():
+    engine = make_engine()
+    got_a, got_b = [], []
+    engine.register("a", got_a.extend)
+    engine.register("b", got_b.extend)
+    # Interleaved submissions to one stream: attribution must follow the
+    # submission order, and indices are global per stream.
+    engine.submit_rows("a", "s", [[1.0], [2.0]])
+    engine.submit_rows("b", "s", [[3.0]])
+    engine.submit_rows("a", "s", [[4.0]])
+    engine.submit_rows("b", "t", [[5.0], [6.0]])
+    engine.drain()
+    assert got_a == [("s", 0, 1.0), ("s", 1, 2.0), ("s", 3, 4.0)]
+    assert got_b == [("s", 2, 3.0), ("t", 0, 5.0), ("t", 1, 6.0)]
+
+    # Indices continue across drains.
+    engine.submit_rows("b", "s", [[7.0]])
+    engine.drain()
+    assert got_b[-1] == ("s", 4, 7.0)
+    assert engine.stats()["frontend"]["pending"] == 0
+
+
+def test_engine_maybe_drain_honours_threshold():
+    engine = make_engine(drain_every=3)
+    got = []
+    engine.register("o", got.extend)
+    engine.submit_rows("o", "s", [[1.0], [2.0]])
+    assert engine.maybe_drain() == {}
+    assert got == []
+    engine.submit_rows("o", "s", [[3.0]])
+    delivered = engine.maybe_drain()
+    assert [row[2] for row in delivered["o"]] == [1.0, 2.0, 3.0]
+
+
+def test_engine_counts_malformed_lines_instead_of_raising():
+    engine = make_engine()
+    engine.register("o", lambda rows: None)
+    assert engine.submit_line("o", "s,1.5,2.5") is None
+    assert "malformed" in engine.submit_line("o", "garbage")
+    assert "non-numeric" in engine.submit_line("o", "s,notafloat")
+    assert engine.submit_line("o", "   ") is None  # blank lines are no-ops
+    front = engine.stats()["frontend"]
+    assert front["errors"] == {"garbage": 1, "s": 1}
+    assert front["error_total"] == 2
+    # The well-formed arrival still scores.
+    delivered = engine.drain()
+    assert [row[:2] for row in delivered["o"]] == [("s", 0)]
+
+
+def test_engine_keeps_segments_of_failed_streams_for_the_retry():
+    engine = make_engine()
+    got = []
+    engine.register("o", got.extend)
+    engine.submit_rows("o", "bad", [[1.0], [POISON]])
+    engine.submit_rows("o", "good", [[2.0], [3.0]])
+    delivered = engine.drain()  # DrainError is absorbed, not raised
+    assert [row[0] for row in delivered["o"]] == ["good", "good"]
+    front = engine.stats()["frontend"]
+    assert "tripwire" in front["failed_streams"]["bad"]
+    assert front["pending"] == 2  # the re-queued arrivals
+
+    # Flush the poison out of the window: the retry delivers the whole
+    # re-queued chunk to the same origin, attribution intact.
+    engine.submit_rows("o", "bad", np.full((16, 1), 4.0))
+    engine.drain()
+    bad_rows = [row for row in got if row[0] == "bad"]
+    assert len(bad_rows) == 18
+    assert [row[1] for row in bad_rows] == list(range(18))
+    assert engine.stats()["frontend"]["failed_streams"] == {}
+
+
+# ---------------------------------------------------------------------- #
+# TCP
+
+
+class LineClient:
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=5)
+        self.reader = self.sock.makefile("r", encoding="utf-8")
+
+    def send(self, line):
+        self.sock.sendall(("%s\n" % line).encode())
+
+    def readline(self):
+        return self.reader.readline().rstrip("\n")
+
+    def close(self):
+        self.reader.close()
+        self.sock.close()
+
+
+@pytest.fixture()
+def tcp_frontend():
+    engine = make_engine()
+    frontend = TcpFrontend(engine, port=0).start()
+    yield frontend
+    frontend.stop()
+    engine.router.close()
+
+
+def test_tcp_round_trip_scores_own_submissions(tcp_frontend):
+    client = LineClient(tcp_frontend.address)
+    try:
+        client.send("s,1.5")
+        client.send("s,2.5")
+        client.send("t,3.0")
+        client.send("t,4.0")
+        client.send("?drain")
+        lines = [client.readline() for __ in range(5)]
+        assert lines[-1] == "OK"
+        assert set(lines[:4]) == {"s,0,1.5", "s,1,2.5", "t,0,3", "t,1,4"}
+    finally:
+        client.close()
+
+
+def test_tcp_malformed_lines_get_err_replies_not_disconnects(tcp_frontend):
+    client = LineClient(tcp_frontend.address)
+    try:
+        client.send("garbage")
+        assert client.readline().startswith("ERR malformed line")
+        client.send("s,notafloat")
+        assert "non-numeric" in client.readline()
+        client.send("?bogus")
+        assert client.readline().startswith("ERR unknown command")
+        # The connection survived all three; a real round-trip still works.
+        client.send("s,4.0")
+        client.send("s,5.0")
+        client.send("?drain")
+        assert client.readline() == "s,0,4"
+        assert client.readline() == "s,1,5"
+        assert client.readline() == "OK"
+        client.send("?stats")
+        stats = json.loads(client.readline())
+        assert stats["frontend"]["errors"] == {"garbage": 1, "s": 1}
+        assert stats["per_stream"]["s"]["scored"] == 2
+    finally:
+        client.close()
+
+
+def test_tcp_second_client_never_sees_first_clients_scores(tcp_frontend):
+    one = LineClient(tcp_frontend.address)
+    two = LineClient(tcp_frontend.address)
+    try:
+        one.send("s,1.0")
+        one.send("s,2.0")
+        two.send("s,3.0")
+        wait_pending(tcp_frontend.engine, 3)
+        one.send("?drain")
+        # Client one gets exactly its own rows (indices 0 and 1) ...
+        assert one.readline() == "s,0,1"
+        assert one.readline() == "s,1,2"
+        assert one.readline() == "OK"
+        # ... and client two got index 2, delivered by the same drain.
+        assert two.readline() == "s,2,3"
+    finally:
+        one.close()
+        two.close()
+
+
+def test_tcp_stop_mid_connection_delivers_tail_then_eof(tcp_frontend):
+    client = LineClient(tcp_frontend.address)
+    try:
+        client.send("s,1.0")
+        client.send("s,2.0")
+        client.send("s,9.0")
+        # No ?drain: the arrivals are still buffered when stop() begins.
+        # Graceful shutdown must score them and deliver before EOF.  (Wait
+        # until the handler has queued all three — SHUT_RD resets a
+        # connection with data still in flight.)
+        wait_pending(tcp_frontend.engine, 3)
+        tcp_frontend.stop()
+        lines = []
+        while True:
+            line = client.reader.readline()
+            if not line:
+                break  # clean EOF, not a reset
+            lines.append(line.rstrip("\n"))
+        assert lines == ["s,0,1", "s,1,2", "s,2,9"]
+    finally:
+        client.close()
+
+
+# ---------------------------------------------------------------------- #
+# HTTP
+
+
+@pytest.fixture()
+def http_frontend():
+    engine = make_engine()
+    frontend = HttpFrontend(engine, port=0).start()
+    yield frontend
+    frontend.stop()
+    engine.router.close()
+
+
+def http_post(address, path, body, headers=None):
+    request = urllib.request.Request(
+        "http://%s:%d%s" % (address[0], address[1], path),
+        data=body, method="POST",
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.loads(response.read())
+
+
+def http_get(address, path):
+    with urllib.request.urlopen(
+        "http://%s:%d%s" % (address[0], address[1], path), timeout=5
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_http_submit_batch_returns_scores_and_per_arrival_errors(
+        http_frontend):
+    body = json.dumps({"arrivals": [
+        {"stream": "web", "values": [1.0, 2.0]},
+        {"stream": "db", "values": 3.0},
+        {"values": [4.0]},                       # missing stream
+        {"stream": "db", "values": "notanumber"},  # rejected by the router
+    ]}).encode()
+    status, reply = http_post(http_frontend.address, "/submit", body)
+    assert status == 200
+    assert reply["accepted"] == 3
+    # "db" got a single arrival, still inside the min_points=2 warmup —
+    # context-only, scored 0.0 by the streaming contract.
+    assert reply["scores"] == [
+        {"stream": "web", "index": 0, "score": 1.0},
+        {"stream": "web", "index": 1, "score": 2.0},
+        {"stream": "db", "index": 0, "score": 0.0},
+    ]
+    assert len(reply["errors"]) == 2
+    assert reply["errors"][0]["arrival"] == 2
+    assert reply["errors"][1]["stream"] == "db"
+
+    status, stats = http_get(http_frontend.address, "/stats")
+    assert status == 200
+    assert stats["per_stream"]["web"]["scored"] == 2
+    assert stats["frontend"]["error_total"] == 2
+
+
+def test_http_drain_false_defers_scoring_to_a_later_drain(http_frontend):
+    body = json.dumps({"arrivals": [{"stream": "s", "values": [1.0]}],
+                       "drain": False}).encode()
+    status, reply = http_post(http_frontend.address, "/submit", body)
+    assert status == 200
+    assert reply["accepted"] == 1
+    assert reply["scores"] == []
+    assert http_frontend.engine.stats()["frontend"]["pending"] == 1
+    # The next draining batch scores the backlog too, but receives only
+    # its own row — the deferred arrival's score belongs to the finished
+    # first request (whose sink is gone), never to a later client.
+    body = json.dumps({"arrivals": [{"stream": "s", "values": [2.0]}]}).encode()
+    __, reply = http_post(http_frontend.address, "/submit", body)
+    assert reply["scores"] == [{"stream": "s", "index": 1, "score": 2.0}]
+    assert http_frontend.engine.stats()["per_stream"]["s"]["scored"] == 2
+
+
+def test_http_invalid_json_and_unknown_paths(http_frontend):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_post(http_frontend.address, "/submit", b"{not json")
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_post(http_frontend.address, "/submit",
+                  json.dumps({"rows": []}).encode())
+    assert excinfo.value.code == 400
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_get(http_frontend.address, "/nope")
+    assert excinfo.value.code == 404
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        http_post(http_frontend.address, "/nope", b"{}")
+    assert excinfo.value.code == 404
+    # The server survived every bad request.
+    status, __ = http_get(http_frontend.address, "/stats")
+    assert status == 200
+
+
+def test_http_and_tcp_share_one_engine_and_stream_indices():
+    engine = make_engine()
+    tcp = TcpFrontend(engine, port=0).start()
+    http = HttpFrontend(engine, port=0).start()
+    client = LineClient(tcp.address)
+    try:
+        client.send("s,1.0")
+        client.send("s,2.0")
+        wait_pending(engine, 2)
+        body = json.dumps({"arrivals": [
+            {"stream": "s", "values": [3.0]}]}).encode()
+        __, reply = http_post(http.address, "/submit", body)
+        # The HTTP drain scored the TCP rows too — but delivered the HTTP
+        # batch only its own row, at the shared stream's next index.
+        assert reply["scores"] == [{"stream": "s", "index": 2, "score": 3.0}]
+        assert client.readline() == "s,0,1"
+        assert client.readline() == "s,1,2"
+    finally:
+        client.close()
+        http.stop()
+        tcp.stop()
+        engine.router.close()

@@ -571,3 +571,146 @@ def test_stream_builds_from_spec(streaming_csv, spec_path, capsys):
     ])
     assert code == 0
     assert "method=EMA" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# serve: drain backends and network frontends
+
+
+def test_serve_process_backend_matches_serial_output(serve_setup, capsys):
+    """--drain-backend process scores the feed bit-identically to serial."""
+    model_path, feed_path, per_stream = serve_setup
+    base = ["serve", "--input", str(feed_path), "--model", str(model_path),
+            "--window", "32", "--drain-every", "16"]
+    assert main(base) == 0
+    serial_out = capsys.readouterr().out
+    assert main(base + ["--drain-backend", "process", "--workers", "2"]) == 0
+    process_out = capsys.readouterr().out
+    assert process_out == serial_out
+    assert len(serial_out.splitlines()) == 3 * per_stream
+
+
+def test_serve_drain_backend_flag_is_validated():
+    with pytest.raises(SystemExit):
+        main(["serve", "--input", "-", "--method", "EMA",
+              "--drain-backend", "turbo"])
+
+
+def _spawn_serve(args, timeout=30.0):
+    """Start ``repro serve`` in a subprocess; returns (proc, banners).
+
+    Reads stderr until the readiness line, collecting the ``serving ...``
+    banners that carry the ephemeral port numbers.
+    """
+    import os
+    import subprocess
+    import sys
+    import time
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro"] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True,
+    )
+    banners, deadline = [], time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            break
+        banners.append(line.strip())
+        if line.startswith("ready"):
+            return proc, banners
+    proc.kill()
+    raise AssertionError("serve never became ready; stderr: %r" % banners)
+
+
+def _banner_port(banners, needle):
+    for line in banners:
+        if needle in line:
+            return int(line.rsplit(":", 1)[1])
+    raise AssertionError("no %r banner in %r" % (needle, banners))
+
+
+def test_serve_tcp_frontend_scores_then_drains_on_sigterm(serve_setup,
+                                                          tmp_path):
+    import signal
+    import socket
+
+    model_path, __, __n = serve_setup
+    state_dir = tmp_path / "state"
+    proc, banners = _spawn_serve([
+        "serve", "--model", str(model_path), "--window", "32",
+        "--tcp", "0", "--drain-backend", "process", "--workers", "2",
+        "--drain-every", "4", "--state-dir", str(state_dir),
+    ])
+    try:
+        port = _banner_port(banners, "TCP line protocol")
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            reader = s.makefile("r")
+            for value in (0.1, 0.2, 0.3):
+                s.sendall(("web,%s\n" % value).encode())
+            s.sendall(b"?drain\n")
+            lines = [reader.readline().strip() for __ in range(4)]
+            assert lines[3] == "OK"
+            assert [line.split(",")[:2] for line in lines[:3]] == [
+                ["web", "0"], ["web", "1"], ["web", "2"]]
+            # Leave one arrival buffered: SIGTERM must drain it before
+            # the connection closes.
+            s.sendall(b"web,0.4\n")
+            proc.send_signal(signal.SIGTERM)
+            tail = reader.readline().strip()
+            assert tail.split(",")[:2] == ["web", "3"]
+            assert reader.readline() == ""  # clean EOF
+        out, err = proc.communicate(timeout=30)
+    except BaseException:
+        proc.kill()
+        raise
+    assert proc.returncode == 0
+    assert "saved router state" in err
+    # The SIGTERM shutdown persisted the router with its backend choice.
+    from repro.serve import StreamRouter
+
+    restored = StreamRouter.restore(state_dir)
+    assert restored.drain_backend == "process"
+    assert restored.stats()["per_stream"]["web"]["scored"] == 4
+    restored.close()
+
+
+def test_serve_http_frontend_round_trip(serve_setup):
+    import json as json_mod
+    import signal
+    import urllib.request
+
+    model_path, __, __n = serve_setup
+    proc, banners = _spawn_serve([
+        "serve", "--model", str(model_path), "--window", "32",
+        "--http", "0",
+    ])
+    try:
+        port = _banner_port(banners, "HTTP batch API")
+        body = json_mod.dumps({"arrivals": [
+            {"stream": "web", "values": [0.1]},
+            {"stream": "web", "values": [0.2]},
+            {"stream": "bad"},
+        ]}).encode()
+        request = urllib.request.Request(
+            "http://127.0.0.1:%d/submit" % port, data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            reply = json_mod.loads(response.read())
+        assert reply["accepted"] == 2
+        assert [s["index"] for s in reply["scores"]] == [0, 1]
+        assert len(reply["errors"]) == 1
+        with urllib.request.urlopen(
+                "http://127.0.0.1:%d/stats" % port, timeout=10) as response:
+            stats = json_mod.loads(response.read())
+        assert stats["per_stream"]["web"]["scored"] == 2
+        assert stats["frontend"]["error_total"] == 1
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+    except BaseException:
+        proc.kill()
+        raise
+    assert proc.returncode == 0
