@@ -1,0 +1,63 @@
+"""repro.analysis: AST-based invariant checking for the repro codebase.
+
+The package behind ``repro lint``.  It statically enforces the contracts
+the rest of the repo promises dynamically: fixed-seed determinism (no
+global-RNG draws, no unordered reductions, fixed einsum contraction
+order), tape safety (``tape_safe`` modules stick to replayable
+primitives, ``forward(out=)`` closures reuse buffers), lock discipline
+(``_GUARDED_BY``-declared attributes only touched under their lock), and
+resource cleanup (files/mmaps/sockets/pools closed on every path).
+
+Typical use::
+
+    from repro.analysis import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, report.findings
+
+Per-line escapes use ``# repro: lint-ok[<rule-id>] reason`` and are
+audited: a missing reason, unknown id, or stale pragma is itself a
+finding.
+"""
+
+from .engine import LintReport, run_lint
+from .rules import (
+    NON_SUPPRESSIBLE,
+    Finding,
+    Rule,
+    all_rules,
+    register,
+    rules_by_id,
+)
+from .report import (
+    render_json,
+    render_rule_list,
+    render_suppressions,
+    render_text,
+)
+from .walker import (
+    ModuleContext,
+    Suppression,
+    clear_cache,
+    iter_python_files,
+    module_context,
+)
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "NON_SUPPRESSIBLE",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "clear_cache",
+    "iter_python_files",
+    "module_context",
+    "register",
+    "render_json",
+    "render_rule_list",
+    "render_suppressions",
+    "render_text",
+    "rules_by_id",
+    "run_lint",
+]

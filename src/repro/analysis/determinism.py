@@ -1,0 +1,241 @@
+"""Determinism rules: global RNG state, unordered reductions, einsum order.
+
+The repo's contract suite pins fixed-seed determinism for every detector
+and bit-identical tape replays/tail forwards (PRs 1, 4, 5).  All three
+guarantees die silently the moment code draws from process-global RNG
+state, reduces over an unordered container, or lets an ``einsum``
+dispatcher pick a data-dependent contraction order on a stable-kernel
+surface — hazards a test only catches if it happens to run the poisoned
+path twice under different conditions.  These rules catch them at parse
+time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import Rule, register
+from .walker import dotted_name
+
+__all__ = ["RngGlobalRule", "SetReductionRule", "EinsumOrderRule"]
+
+#: numpy legacy global-state RNG API (np.random.<fn> drawing from the
+#: hidden module singleton).  ``default_rng``/``Generator``/``SeedSequence``
+#: are deliberately absent — constructing a seeded generator is the fix.
+_NP_LEGACY = frozenset((
+    "seed", "rand", "randn", "randint", "random", "ranf", "random_sample",
+    "sample", "choice", "shuffle", "permutation", "bytes", "normal",
+    "uniform", "standard_normal", "standard_cauchy", "standard_exponential",
+    "beta", "binomial", "exponential", "gamma", "poisson", "laplace",
+    "lognormal", "multivariate_normal", "get_state", "set_state",
+))
+
+#: stdlib ``random`` module-level functions (all share one hidden Random()).
+_STDLIB_RANDOM = frozenset((
+    "random", "randint", "randrange", "uniform", "gauss", "normalvariate",
+    "choice", "choices", "shuffle", "sample", "seed", "betavariate",
+    "expovariate", "triangular", "vonmisesvariate", "paretovariate",
+    "lognormvariate", "getrandbits", "randbytes",
+))
+
+
+def _numpy_random_prefixes(ctx):
+    """Dotted prefixes that mean ``numpy.random`` in this module."""
+    prefixes = ["%s.random" % alias for alias in ctx.aliases_of("numpy")]
+    prefixes += ctx.aliases_of("numpy.random")
+    return prefixes
+
+
+def _in_kernel_scope(ctx, node):
+    """Whether ``node`` runs inside a forward/kernel/tape-recorded scope.
+
+    True when any enclosing function is named ``forward`` (module forwards
+    AND the recorded ``forward(out=None)`` closures replayed by the tape),
+    or when the module is part of :mod:`repro.nn` whose functions build the
+    recorded graphs (``functional``/``tensor``/``losses``).
+    """
+    for function in ctx.enclosing_functions(node):
+        if function.name == "forward":
+            return True
+    tail = ctx.path.replace("\\", "/").rsplit("/", 2)[-2:]
+    return tail[0] == "nn" and tail[-1] in (
+        "functional.py", "tensor.py", "losses.py"
+    )
+
+
+@register
+class RngGlobalRule(Rule):
+    id = "rng-global"
+    category = "determinism"
+    description = (
+        "no global-RNG draws: numpy legacy np.random.* and stdlib random.* "
+        "calls are banned everywhere, unseeded default_rng() everywhere, "
+        "and forward/kernel scopes may not construct generators at all"
+    )
+    hint = (
+        "thread an explicit np.random.Generator parameter (rng=...) from "
+        "the caller; library entry points seed their fallback generator"
+    )
+
+    def check(self, ctx):
+        np_random = _numpy_random_prefixes(ctx)
+        stdlib = [
+            alias for alias in ctx.aliases_of("random")
+        ]
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            prefix, attr = name.rsplit(".", 1)
+            if prefix in np_random:
+                if attr in _NP_LEGACY:
+                    yield self.finding(
+                        ctx, node,
+                        "call to the numpy legacy global RNG "
+                        "(%s draws from hidden process state)" % name,
+                    )
+                elif attr == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield self.finding(
+                            ctx, node,
+                            "unseeded default_rng(): every call produces "
+                            "different entropy, so results are not "
+                            "reproducible",
+                            hint="seed it (default_rng(0)) or accept an "
+                                 "rng= parameter from the caller",
+                        )
+                    elif _in_kernel_scope(ctx, node):
+                        yield self.finding(
+                            ctx, node,
+                            "generator constructed inside a forward/kernel "
+                            "scope: recorded tapes and grouped forwards "
+                            "must see caller-threaded randomness only",
+                        )
+            elif prefix in stdlib and attr in _STDLIB_RANDOM:
+                yield self.finding(
+                    ctx, node,
+                    "stdlib random.%s draws from the process-global "
+                    "Random() instance" % attr,
+                )
+
+
+def _is_set_expr(node):
+    """Set literal, set comprehension, or set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in ("set", "frozenset")
+    return False
+
+
+def _set_expr_in(node):
+    """The first set-expression in ``node``'s immediate value, if any.
+
+    Looks through one comprehension/generator level: ``sum(x for x in
+    set(...))`` is as hazardous as ``sum(set(...))``.
+    """
+    if _is_set_expr(node):
+        return node
+    if isinstance(node, (ast.GeneratorExp, ast.ListComp)):
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                return generator.iter
+    return None
+
+
+_REDUCERS = frozenset((
+    "sum", "math.fsum", "fsum", "np.sum", "np.prod", "np.mean", "np.dot",
+    "numpy.sum", "numpy.prod", "numpy.mean",
+))
+
+_ACCUMULATING_OPS = (ast.Add, ast.Sub, ast.Mult, ast.Div)
+
+
+@register
+class SetReductionRule(Rule):
+    id = "set-reduction"
+    category = "determinism"
+    description = (
+        "numeric accumulation over a set/frozenset: iteration order is "
+        "hash-randomised, so the float reduction order — and the rounded "
+        "result — changes between runs"
+    )
+    hint = (
+        "reduce over sorted(...) of the elements, or keep them in an "
+        "insertion-ordered list/dict instead of a set"
+    )
+
+    def check(self, ctx):
+        for node in ctx.walk():
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _REDUCERS:
+                    for arg in node.args:
+                        hazard = _set_expr_in(arg)
+                        if hazard is not None:
+                            yield self.finding(
+                                ctx, node,
+                                "%s(...) reduces over an unordered set" % name,
+                            )
+                            break
+            elif isinstance(node, ast.For):
+                if _is_set_expr(node.iter) and self._accumulates(node):
+                    yield self.finding(
+                        ctx, node,
+                        "loop over an unordered set feeds numeric "
+                        "accumulation (+=/-=/*=)",
+                    )
+
+    @staticmethod
+    def _accumulates(loop):
+        for node in ast.walk(loop):
+            if (isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, _ACCUMULATING_OPS)):
+                return True
+        return False
+
+
+@register
+class EinsumOrderRule(Rule):
+    id = "einsum-order"
+    category = "determinism"
+    description = (
+        "np.einsum on the nn kernel surface without optimize=False: the "
+        "optimizer's contraction order (and BLAS tail handling) may vary "
+        "with operand shapes, breaking the cross-length bit-equality "
+        "stable_kernels() promises"
+    )
+    hint = (
+        "pass optimize=False for a fixed-order contraction; if the call "
+        "is provably off every stable_kernels() path, suppress with a "
+        "justification instead"
+    )
+
+    def check(self, ctx):
+        tail = ctx.path.replace("\\", "/").split("/")
+        if "nn" not in tail:
+            return
+        numpy_aliases = ctx.aliases_of("numpy")
+        einsum_names = frozenset(
+            ["%s.einsum" % alias for alias in numpy_aliases]
+            + ctx.aliases_of("numpy.einsum")
+        )
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            if dotted_name(node.func) not in einsum_names:
+                continue
+            fixed = any(
+                keyword.arg == "optimize"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+                for keyword in node.keywords
+            )
+            if not fixed:
+                yield self.finding(
+                    ctx, node,
+                    "einsum without optimize=False on the kernel surface",
+                )

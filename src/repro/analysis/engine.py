@@ -1,0 +1,154 @@
+"""The lint engine: walk files, run rules, apply and audit suppressions.
+
+:func:`run_lint` is the single entry point behind ``repro lint`` and the
+tier-1 cleanliness test.  It separates three populations the report keeps
+distinct: *active* findings (violations that fail the run), *suppressed*
+findings (matched by a same-line ``lint-ok`` pragma — visible, not
+fatal), and *audit* findings about the pragmas themselves.  The audit is
+what keeps suppression from becoming a silent opt-out: a pragma with no
+reason, naming an unknown rule, or matching nothing it could suppress is
+itself a violation — and audit findings cannot be suppressed
+(:data:`repro.analysis.rules.NON_SUPPRESSIBLE`).
+"""
+
+from __future__ import annotations
+
+from .rules import NON_SUPPRESSIBLE, Finding, all_rules
+from .walker import iter_python_files, module_context
+
+__all__ = ["LintReport", "run_lint"]
+
+
+class LintReport:
+    """Everything one lint run produced, ready for text or JSON rendering."""
+
+    __slots__ = ("files", "rule_ids", "findings", "suppressed",
+                 "suppressions")
+
+    def __init__(self, files, rule_ids, findings, suppressed, suppressions):
+        self.files = files
+        self.rule_ids = rule_ids
+        #: Active findings — non-empty means the lint run fails.
+        self.findings = findings
+        #: ``(finding, suppression)`` pairs a pragma waved through.
+        self.suppressed = suppressed
+        #: Every pragma seen, used or not (``--list-suppressions``).
+        self.suppressions = suppressions
+
+    @property
+    def ok(self):
+        return not self.findings
+
+    def to_dict(self):
+        return {
+            "files": len(self.files),
+            "rules": list(self.rule_ids),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [
+                {"finding": f.to_dict(), "reason": s.reason}
+                for f, s in self.suppressed
+            ],
+            "suppressions": [s.to_dict() for s in self.suppressions],
+        }
+
+
+def _sort_key(finding):
+    return (finding.path, finding.line, finding.rule, finding.col)
+
+
+def _audit_pragmas(context, known_ids):
+    """Findings about the pragmas themselves (reason and id validity)."""
+    for suppression in context.suppressions:
+        if not suppression.reason.strip():
+            yield Finding(
+                "suppression-reason", suppression.path, suppression.line, 0,
+                "lint-ok pragma without a justification — every "
+                "suppression must say why the rule does not apply here",
+                "append the reason after the bracket: "
+                "# repro: lint-ok[<rule-id>] <why this is safe>",
+            )
+        if not suppression.rule_ids:
+            yield Finding(
+                "suppression-reason", suppression.path, suppression.line, 0,
+                "lint-ok pragma with an empty rule list suppresses nothing",
+                "name the rule(s): # repro: lint-ok[<rule-id>] reason",
+            )
+        for rule_id in suppression.rule_ids:
+            if rule_id not in known_ids:
+                yield Finding(
+                    "suppression-reason", suppression.path,
+                    suppression.line, 0,
+                    "lint-ok names unknown rule %r — a typo here silently "
+                    "suppresses nothing" % rule_id,
+                    "check the id against `repro lint --rules list`",
+                )
+
+
+def run_lint(paths, rules=None):
+    """Lint every ``.py`` file under ``paths`` and return a LintReport.
+
+    ``rules`` restricts the run to specific rule instances (the CLI's
+    ``--rules``); None runs the full registry.  The unused-suppression
+    audit only runs with the full registry — under a subset, pragmas for
+    unselected rules are legitimately idle, not stale.
+    """
+    selected = all_rules() if rules is None else list(rules)
+    full_run = rules is None
+    known_ids = frozenset(
+        rule.id for rule in all_rules()
+    ) | NON_SUPPRESSIBLE
+
+    files = []
+    findings = []
+    suppressed = []
+    suppressions = []
+    for path in iter_python_files(paths):
+        files.append(path)
+        context = module_context(path)
+        suppressions.extend(context.suppressions)
+        if context.error is not None:
+            findings.append(Finding(
+                "parse-error", path,
+                context.error.lineno or 0, context.error.offset or 0,
+                "file does not parse: %s" % context.error.msg,
+                "a module the checker cannot read is a module no "
+                "invariant is checked in — fix the syntax first",
+            ))
+            continue
+
+        used = set()
+        for rule in selected:
+            for finding in rule.check(context):
+                suppression = None
+                if finding.rule not in NON_SUPPRESSIBLE:
+                    suppression = context.suppression_for(finding)
+                if suppression is not None:
+                    suppressed.append((finding, suppression))
+                    used.add(id(suppression))
+                else:
+                    findings.append(finding)
+
+        findings.extend(_audit_pragmas(context, known_ids))
+        if full_run:
+            for suppression in context.suppressions:
+                if id(suppression) in used:
+                    continue
+                if not suppression.rule_ids:
+                    continue  # already reported by the pragma audit
+                findings.append(Finding(
+                    "suppression-unused", path, suppression.line, 0,
+                    "lint-ok[%s] matched no finding — the code it excused "
+                    "is gone, so the pragma is stale"
+                    % ",".join(suppression.rule_ids),
+                    "delete the pragma (or fix the rule id if it drifted)",
+                ))
+
+    findings.sort(key=_sort_key)
+    suppressed.sort(key=lambda pair: _sort_key(pair[0]))
+    return LintReport(
+        files=files,
+        rule_ids=[rule.id for rule in selected],
+        findings=findings,
+        suppressed=suppressed,
+        suppressions=suppressions,
+    )

@@ -1,0 +1,64 @@
+"""Render a :class:`~repro.analysis.engine.LintReport` as text or JSON."""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["render_text", "render_json", "render_suppressions",
+           "render_rule_list"]
+
+
+def render_text(report):
+    """Human-readable findings, one block per finding, summary last."""
+    lines = []
+    for finding in report.findings:
+        lines.append("%s:%d:%d: [%s] %s" % (
+            finding.path, finding.line, finding.col,
+            finding.rule, finding.message,
+        ))
+        if finding.hint:
+            lines.append("    hint: %s" % finding.hint)
+    if report.suppressed:
+        lines.append("")
+        lines.append("suppressed (%d):" % len(report.suppressed))
+        for finding, suppression in report.suppressed:
+            lines.append("  %s:%d: [%s] ok: %s" % (
+                finding.path, finding.line, finding.rule,
+                suppression.reason,
+            ))
+    lines.append("")
+    lines.append("%d file%s checked, %d finding%s, %d suppressed" % (
+        len(report.files), "" if len(report.files) == 1 else "s",
+        len(report.findings), "" if len(report.findings) == 1 else "s",
+        len(report.suppressed),
+    ))
+    return "\n".join(lines)
+
+
+def render_json(report):
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)
+
+
+def render_suppressions(report):
+    """The suppression inventory for ``repro lint --list-suppressions``."""
+    lines = []
+    for suppression in report.suppressions:
+        lines.append("%s:%d: [%s] %s" % (
+            suppression.path, suppression.line,
+            ",".join(suppression.rule_ids),
+            suppression.reason or "(no reason)",
+        ))
+    lines.append("%d suppression%s" % (
+        len(report.suppressions),
+        "" if len(report.suppressions) == 1 else "s",
+    ))
+    return "\n".join(lines)
+
+
+def render_rule_list(rules):
+    """The rule catalog for ``repro lint --rules list``."""
+    lines = []
+    for rule in rules:
+        lines.append("%-16s %-15s %s" % (rule.id, rule.category,
+                                         rule.description))
+    return "\n".join(lines)

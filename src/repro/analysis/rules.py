@@ -1,0 +1,144 @@
+"""Rule base class, finding model, and the rule registry.
+
+A *rule* encodes one repo invariant as a pure function over a parsed
+module: :meth:`Rule.check` receives a :class:`repro.analysis.walker.
+ModuleContext` (AST + source + lazy indexes) and yields
+:class:`Finding` objects.  Rules never mutate the context — the walker
+caches parsed modules across runs, so a rule that scribbled on the tree
+would poison every later run in the process.
+
+Adding a rule
+-------------
+Subclass :class:`Rule`, fill in the four class attributes, implement
+``check``, and decorate with :func:`register`::
+
+    @register
+    class NoSleepInDrain(Rule):
+        id = "no-sleep-in-drain"
+        category = "lock-discipline"
+        description = "drain paths must never block on time.sleep"
+        hint = "poll with a timeout on the condition instead"
+
+        def check(self, ctx):
+            for node in ctx.walk():
+                ...
+                yield self.finding(ctx, node, "time.sleep inside drain")
+
+Rule ids are kebab-case and stable: they appear in findings, in
+per-line suppressions (``# repro: lint-ok[<rule-id>] reason``), and in
+``repro lint --rules`` selections, so renaming one invalidates audited
+suppressions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_by_id",
+    "NON_SUPPRESSIBLE",
+]
+
+#: Rule ids whose findings ignore ``lint-ok`` pragmas.  These audit the
+#: suppression mechanism itself — a suppressible suppression-audit would
+#: let one bad pragma wave itself through.
+NON_SUPPRESSIBLE = frozenset((
+    "suppression-reason",
+    "suppression-unused",
+    "parse-error",
+))
+
+
+class Finding:
+    """One invariant violation: rule id, location, message, fix hint."""
+
+    __slots__ = ("rule", "path", "line", "col", "message", "hint")
+
+    def __init__(self, rule, path, line, col, message, hint):
+        self.rule = rule
+        self.path = path
+        self.line = int(line)
+        self.col = int(col)
+        self.message = message
+        self.hint = hint
+
+    def to_dict(self):
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def __repr__(self):
+        return "Finding(%s, %s:%d: %s)" % (
+            self.rule, self.path, self.line, self.message
+        )
+
+
+class Rule:
+    """One statically-checkable invariant; see the module docstring."""
+
+    #: Stable kebab-case identifier (used by suppressions and --rules).
+    id = None
+    #: One of: determinism, tape-safety, lock-discipline, resources, audit.
+    category = None
+    #: One line: the contract this rule enforces.
+    description = ""
+    #: How a finding is usually fixed (rendered with every finding).
+    hint = ""
+
+    def check(self, ctx):  # pragma: no cover - abstract
+        """Yield :class:`Finding` objects for violations in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(self, ctx, node, message, hint=None):
+        """Build a finding anchored at ``node`` (or a bare line number)."""
+        line = node if isinstance(node, int) else node.lineno
+        col = 0 if isinstance(node, int) else node.col_offset
+        return Finding(
+            self.id, ctx.path, line, col, message,
+            self.hint if hint is None else hint,
+        )
+
+
+_REGISTRY = {}
+
+
+def register(cls):
+    """Class decorator: add ``cls`` to the global rule registry."""
+    if not cls.id or not cls.category:
+        raise ValueError("rule %s needs id and category" % cls.__name__)
+    if cls.id in _REGISTRY:
+        raise ValueError("duplicate rule id %r" % cls.id)
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules():
+    """Fresh instances of every registered rule, sorted by id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def rules_by_id(ids):
+    """Instances for ``ids`` (iterable of rule-id strings); KeyError on typos."""
+    _load_builtin_rules()
+    instances = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            raise KeyError(
+                "unknown rule id %r (known: %s)"
+                % (rule_id, ", ".join(sorted(_REGISTRY)))
+            )
+        instances.append(_REGISTRY[rule_id]())
+    return instances
+
+
+def _load_builtin_rules():
+    """Import the rule-family modules so their @register calls run."""
+    from . import determinism, locks, resources, tapesafety  # noqa: F401

@@ -1,0 +1,172 @@
+"""Tape-safety rules: poisoners in ``tape_safe`` modules, replay allocations.
+
+The PR 5 training tape replays recorded ``forward(out=None)`` closures
+bit-identically — but only if (a) modules that opt in with ``tape_safe =
+True`` really do lower onto replayable primitives, and (b) the closures
+reuse their ``out`` buffers instead of allocating fresh arrays per replay.
+Violations of (a) are caught at *record* time today (``_poison_tape``),
+i.e. on the first fit of whoever wires a poisoner in; violations of (b)
+are never caught — they silently turn the fast path into an allocation
+loop.  Both are statically visible, so these rules move the discovery to
+lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .rules import Rule, register
+from .walker import dotted_name
+
+__all__ = ["TapePoisonRule", "TapeOutAllocRule"]
+
+#: Primitives that poison a recording at capture time (they bake run-time
+#: data — a max shift, a sampled mask — into the recorded graph).  Matched
+#: by trailing call-name segment so ``softmax``, ``F.softmax`` and
+#: ``nn.functional.softmax`` all hit.
+_POISONERS = frozenset(("softmax", "dropout"))
+
+
+def _class_declares_tape_safe(classdef):
+    for statement in classdef.body:
+        if isinstance(statement, ast.Assign):
+            targets = [t.id for t in statement.targets
+                       if isinstance(t, ast.Name)]
+            if "tape_safe" in targets:
+                return (isinstance(statement.value, ast.Constant)
+                        and statement.value.value is True)
+    return False
+
+
+@register
+class TapePoisonRule(Rule):
+    id = "tape-poison"
+    category = "tape-safety"
+    description = (
+        "a module declaring tape_safe = True calls a capture-time poisoner "
+        "(softmax/dropout): the tape_safe pledge says every primitive in "
+        "its forward is replayable, and these bake per-call data into the "
+        "recorded graph"
+    )
+    hint = (
+        "drop the tape_safe declaration (the fit falls back to eager), or "
+        "rebuild the forward from replayable primitives"
+    )
+
+    def check(self, ctx):
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not _class_declares_tape_safe(node):
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+                    continue
+                for call in ast.walk(method):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    name = dotted_name(call.func)
+                    if name is None:
+                        continue
+                    leaf = name.rsplit(".", 1)[-1]
+                    if leaf in _POISONERS:
+                        yield self.finding(
+                            ctx, call,
+                            "%s called inside tape_safe class %s.%s"
+                            % (name, node.name, method.name),
+                        )
+
+
+#: Array constructors that allocate a fresh result every call.
+_ALLOCATORS = frozenset((
+    "zeros", "empty", "ones", "full", "zeros_like", "empty_like",
+    "ones_like", "full_like", "copy", "array",
+))
+
+
+def _numpy_allocator(ctx, call):
+    name = dotted_name(call.func)
+    if name is None or "." not in name:
+        return None
+    prefix, attr = name.rsplit(".", 1)
+    if attr in _ALLOCATORS and prefix in ctx.aliases_of("numpy"):
+        return name
+    return None
+
+
+def _guarded_by_none_check(ctx, node, boundary):
+    """Whether an ``if`` with an ``is None``-style test encloses ``node``.
+
+    Covers the two sanctioned allocation idioms inside replayable
+    closures: the out-guard (``if out is None: out = np.zeros(...)``) and
+    the closure-persistent scratch cache (``if tmp is None or tmp.shape !=
+    ...: tmp = scratch[0] = np.empty(...)``).  Both allocate exactly once
+    per shape, never per replay.  The scan stops at ``boundary`` (the
+    closure itself) — a guard outside the closure proves nothing about
+    replay calls.
+    """
+    for ancestor in ctx.ancestors(node):
+        if ancestor is boundary:
+            return False
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            return False
+        if isinstance(ancestor, (ast.If, ast.IfExp)):
+            for sub in ast.walk(ancestor.test):
+                if isinstance(sub, ast.Compare) and any(
+                    isinstance(op, (ast.Is, ast.IsNot)) for op in sub.ops
+                ):
+                    return True
+    return False
+
+
+def _assigned_to_cache_slot(ctx, call):
+    """Whether the allocation lands in a subscript slot (scratch cache)."""
+    parent = ctx.parent(call)
+    if isinstance(parent, ast.Assign) and parent.value is call:
+        return any(isinstance(t, ast.Subscript) for t in parent.targets)
+    return False
+
+
+@register
+class TapeOutAllocRule(Rule):
+    id = "tape-out-alloc"
+    category = "tape-safety"
+    description = (
+        "a forward(out=...) closure allocates a fresh array on the replay "
+        "path: replays are supposed to write through the reused out "
+        "buffer, so an unguarded constructor turns every replayed epoch "
+        "into an allocation"
+    )
+    hint = (
+        "allocate only under an `if out is None:` guard (or a `... is "
+        "None`-checked scratch-cache slot) and write through out= "
+        "otherwise"
+    )
+
+    def check(self, ctx):
+        for node in ctx.walk():
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name != "forward":
+                continue
+            arg_names = [a.arg for a in (node.args.args
+                                         + node.args.kwonlyargs)]
+            if "out" not in arg_names:
+                continue
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                name = _numpy_allocator(ctx, call)
+                if name is None:
+                    continue
+                if _guarded_by_none_check(ctx, call, node):
+                    continue
+                if _assigned_to_cache_slot(ctx, call):
+                    continue
+                yield self.finding(
+                    ctx, call,
+                    "%s(...) allocates per replay in a forward(out=) "
+                    "closure" % name,
+                )

@@ -1,0 +1,241 @@
+"""File walking, cached AST parsing, and per-module analysis context.
+
+Parsing dominates lint time, so parsed modules are cached process-wide,
+keyed by ``(path, mtime_ns, size)``: the second ``run_lint`` over an
+unchanged tree re-parses nothing (see ``tests/analysis/test_lint_perf``,
+which pins the budget).  The cached object is the whole
+:class:`ModuleContext` — tree, source lines, parent map, suppressions —
+because every index is immutable once built; rules must treat it as
+read-only.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+
+__all__ = [
+    "ModuleContext",
+    "Suppression",
+    "module_context",
+    "iter_python_files",
+    "clear_cache",
+    "dotted_name",
+]
+
+#: ``# repro: lint-ok[<rule-id>,<other-id>] reason`` — the per-line suppression
+#: pragma.  The bracketed list names the rule(s) being waved through on
+#: this line; everything after the bracket is the mandatory justification,
+#: audited by the ``suppression-reason`` rule and surfaced by
+#: ``repro lint --list-suppressions``.
+_PRAGMA = re.compile(
+    r"#\s*repro:\s*lint-ok\[([A-Za-z0-9_,\- ]*)\]\s*(.*?)\s*$"
+)
+
+_AST_CACHE = {}
+
+
+class Suppression:
+    """One ``lint-ok`` pragma: where it is, what it waves through, and why."""
+
+    __slots__ = ("path", "line", "rule_ids", "reason")
+
+    def __init__(self, path, line, rule_ids, reason):
+        self.path = path
+        self.line = int(line)
+        self.rule_ids = tuple(rule_ids)
+        self.reason = reason
+
+    def to_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rule_ids),
+            "reason": self.reason,
+        }
+
+    def __repr__(self):
+        return "Suppression(%s:%d, %s, %r)" % (
+            self.path, self.line, ",".join(self.rule_ids), self.reason
+        )
+
+
+class ModuleContext:
+    """One parsed module plus the lazy indexes rules share.
+
+    Attributes
+    ----------
+    path: the path the module was read from (as given to the walker).
+    tree: the parsed ``ast.Module`` (never mutate — it is cached).
+    lines: source split into lines (1-indexed access via ``line(n)``).
+    error: the ``SyntaxError`` if parsing failed (``tree`` is then None
+        and rules are skipped for this module; the engine reports it).
+    """
+
+    def __init__(self, path, source, tree, error=None):
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.error = error
+        self._parents = None
+        self._suppressions = None
+        self._imports = None
+
+    # ------------------------------------------------------------------ #
+    # navigation
+    def walk(self):
+        return ast.walk(self.tree) if self.tree is not None else iter(())
+
+    @property
+    def parents(self):
+        """``id(child) -> parent`` over the whole tree, built once."""
+        if self._parents is None:
+            parents = {}
+            for node in self.walk():
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            self._parents = parents
+        return self._parents
+
+    def parent(self, node):
+        return self.parents.get(id(node))
+
+    def ancestors(self, node):
+        """Yield ``node``'s ancestors, innermost first, up to the module."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_functions(self, node):
+        """Enclosing function defs, innermost first (closures before defs)."""
+        return [n for n in self.ancestors(node)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def enclosing_class(self, node):
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # ------------------------------------------------------------------ #
+    # imports
+    @property
+    def imports(self):
+        """Local alias -> imported dotted name (``np`` -> ``numpy``)."""
+        if self._imports is None:
+            table = {}
+            for node in self.walk():
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        table[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name
+                        )
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        table[alias.asname or alias.name] = (
+                            "%s.%s" % (node.module, alias.name)
+                        )
+            self._imports = table
+        return self._imports
+
+    def aliases_of(self, dotted):
+        """Local names bound to the module/object ``dotted`` imports to."""
+        return [name for name, target in self.imports.items()
+                if target == dotted]
+
+    # ------------------------------------------------------------------ #
+    # suppressions
+    @property
+    def suppressions(self):
+        """Every ``lint-ok`` pragma in the module, in line order."""
+        if self._suppressions is None:
+            found = []
+            for number, text in enumerate(self.lines, start=1):
+                match = _PRAGMA.search(text)
+                if match is None:
+                    continue
+                ids = tuple(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip()
+                )
+                found.append(
+                    Suppression(self.path, number, ids, match.group(2))
+                )
+            self._suppressions = found
+        return self._suppressions
+
+    def suppression_for(self, finding):
+        """The pragma on the finding's line covering its rule, or None."""
+        for suppression in self.suppressions:
+            if (suppression.line == finding.line
+                    and finding.rule in suppression.rule_ids):
+                return suppression
+        return None
+
+    def line(self, number):
+        """Source text of 1-indexed line ``number`` ('' out of range)."""
+        if 1 <= number <= len(self.lines):
+            return self.lines[number - 1]
+        return ""
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain; None for anything dynamic."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_context(path):
+    """The (cached) :class:`ModuleContext` for ``path``.
+
+    Cache hits require an unchanged ``(mtime_ns, size)`` stat — an edited
+    file re-parses, an untouched one costs one ``stat`` call.
+    """
+    stat = os.stat(path)
+    key = (stat.st_mtime_ns, stat.st_size)
+    cached = _AST_CACHE.get(path)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+        context = ModuleContext(path, source, tree)
+    except SyntaxError as error:
+        context = ModuleContext(path, source, None, error=error)
+    _AST_CACHE[path] = (key, context)
+    return context
+
+
+def clear_cache():
+    """Drop every cached parse (tests use this to measure cold runs)."""
+    _AST_CACHE.clear()
+
+
+def iter_python_files(paths):
+    """Yield ``.py`` files under ``paths`` (files and/or directories).
+
+    Directories are walked recursively in sorted order so reports are
+    stable; hidden directories and ``__pycache__`` are skipped.
+    """
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(root, filename)

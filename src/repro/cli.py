@@ -26,6 +26,7 @@ surface instead of per-subcommand argparse plumbing.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -288,6 +289,24 @@ def build_parser():
                        help="bind address for --tcp/--http "
                             "(default: 127.0.0.1)")
     serve.add_argument("--output", help="output CSV path (default: stdout)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the codebase's determinism, tape-safety, "
+             "lock-discipline and resource contracts (repro.analysis)",
+    )
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit the full report as JSON")
+    lint.add_argument("--rules",
+                      help="comma-separated rule ids to run (default: all), "
+                           "or 'list' to print the rule catalog")
+    lint.add_argument("--list-suppressions", action="store_true",
+                      help="enumerate every '# repro: lint-ok[...]' pragma "
+                           "instead of linting; exits non-zero when any "
+                           "pragma lacks a reason or names an unknown rule")
     return parser
 
 
@@ -746,6 +765,42 @@ def _run_demo(args):
     return 0
 
 
+def _run_lint(args):
+    from . import analysis
+
+    if args.rules == "list":
+        print(analysis.render_rule_list(analysis.all_rules()))
+        return 0
+    rules = None
+    if args.rules:
+        try:
+            rules = analysis.rules_by_id(
+                [part.strip() for part in args.rules.split(",")
+                 if part.strip()]
+            )
+        except KeyError as exc:
+            print("error: %s" % exc.args[0], file=sys.stderr)
+            return 2
+    paths = args.paths or [os.path.dirname(os.path.abspath(__file__))]
+    report = analysis.run_lint(paths, rules=rules)
+    if args.list_suppressions:
+        print(analysis.render_suppressions(report))
+        # The audit findings are the gate: a pragma with no reason or an
+        # unknown rule id must fail the listing, clean findings pass it.
+        bad = [f for f in report.findings
+               if f.rule in ("suppression-reason", "parse-error")]
+        for finding in bad:
+            print("%s:%d: [%s] %s" % (finding.path, finding.line,
+                                      finding.rule, finding.message),
+                  file=sys.stderr)
+        return 1 if bad else 0
+    if args.as_json:
+        print(analysis.render_json(report))
+    else:
+        print(analysis.render_text(report))
+    return 0 if report.ok else 1
+
+
 def main(argv=None):
     args = build_parser().parse_args(argv)
     if getattr(args, "eager", False):
@@ -766,6 +821,8 @@ def main(argv=None):
         return _run_stream(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "lint":
+        return _run_lint(args)
     return 1  # pragma: no cover
 
 

@@ -51,7 +51,7 @@ def sawtooth(length, period, phase=0.0):
 
 def ar_process(length, coeffs, noise_scale=1.0, rng=None):
     """Autoregressive process ``x_t = sum_i coeffs[i] x_{t-i-1} + eps`` (SYN)."""
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     coeffs = np.atleast_1d(coeffs).astype(np.float64)
     order = coeffs.size
     burn = 5 * order + 50
@@ -64,7 +64,7 @@ def ar_process(length, coeffs, noise_scale=1.0, rng=None):
 
 def random_walk(length, step_scale=1.0, rng=None):
     """Gaussian random walk — exchange-rate style NAB channel."""
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     return np.cumsum(rng.standard_normal(length) * step_scale)
 
 
@@ -78,7 +78,7 @@ def ecg_beat_train(length, beat_period=60, rng=None, jitter=0.02):
     Each beat is a sum of five Gaussian bumps (P, Q, R, S, T); beat-to-beat
     period jitter makes the series realistically non-stationary.
     """
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     out = np.zeros(length)
     t = np.arange(length, dtype=np.float64)
     centre = float(beat_period) / 2.0
@@ -101,7 +101,7 @@ def trajectory_2d(length, harmonics=4, rng=None):
 
     Mimics hand-writing trajectories: closed-ish, smooth, band-limited.
     """
-    rng = np.random.default_rng() if rng is None else rng
+    rng = np.random.default_rng(0) if rng is None else rng
     t = np.linspace(0.0, 2.0 * np.pi, length)
     xy = np.zeros((length, 2))
     for axis in range(2):

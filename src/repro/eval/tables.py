@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 __all__ = ["render_table", "render_sweep"]
 
 

@@ -180,8 +180,9 @@ def conv1d(x, weight, bias=None, padding=0):
             # handles poorly; the im2col einsum's broadcast path is ~7x
             # faster for single-channel inputs.
             cols = sliding_window_view(x.data, k, axis=2)
-            result = np.einsum("nclk,fck->nfl", cols, weight.data,
-                               optimize=True, out=out)
+            result = np.einsum(  # repro: lint-ok[einsum-order] eager-only branch: stable=True takes the fixed-order tap loop above, so this never runs under stable_kernels()
+                "nclk,fck->nfl", cols, weight.data,
+                optimize=True, out=out)
             if bias is not None:
                 result += bias.data[None, :, None]
             return result
@@ -218,8 +219,9 @@ def conv1d(x, weight, bias=None, padding=0):
             for tap in range(k):
                 xt = x.data[:, :, tap : tap + l_out]
                 if n > 1:
-                    np.einsum("nfl,ncl->fc", grad, xt, optimize=True,
-                              out=gw[:, :, tap])
+                    np.einsum(  # repro: lint-ok[einsum-order] backward-only: stable_kernels() bit-equality is a forward contract, gradients tolerate order drift
+                        "nfl,ncl->fc", grad, xt, optimize=True,
+                        out=gw[:, :, tap])
                 else:
                     np.matmul(grad[0], xt[0].T, out=gw[:, :, tap])
             weight._accumulate_owned(gw)

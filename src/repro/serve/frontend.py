@@ -61,6 +61,18 @@ class FrontendEngine:
     drain lock; segment bookkeeping on the engine lock).
     """
 
+    #: Lock discipline, machine-checked by ``repro lint`` (lock-guarded).
+    _GUARDED_BY = {
+        "_sinks": "_lock",
+        "_segments": "_lock",
+        "_emitted": "_lock",
+        "_errors": "_lock",
+        "_dropped_seen": "_lock",
+        "_failed": "_lock",
+        "_pending": "_lock",
+        "_unrouted": "_lock",
+    }
+
     def __init__(self, router, drain_every=32):
         self.router = router
         self.drain_every = max(int(drain_every), 1)
@@ -183,7 +195,7 @@ class FrontendEngine:
             for stream_id, entry in per_stream.items():
                 delta = entry["dropped"] - self._dropped_seen.get(stream_id, 0)
                 if delta:
-                    self._trim_segments(stream_id, delta)
+                    self._trim_segments_locked(stream_id, delta)
                 self._dropped_seen[stream_id] = entry["dropped"]
             for stream_id, scores in results.items():
                 start = self._emitted.get(stream_id)
@@ -224,7 +236,7 @@ class FrontendEngine:
                 pass  # its own rows; the frontend unregisters it on exit
         return deliveries
 
-    def _trim_segments(self, stream_id, count):
+    def _trim_segments_locked(self, stream_id, count):
         segments = self._segments.get(stream_id)
         while segments and count:
             take = min(segments[0][1], count)
@@ -311,6 +323,9 @@ class _TcpServer(socketserver.ThreadingTCPServer):
 
 class TcpFrontend:
     """Serve the line protocol over TCP; see the module docstring."""
+
+    #: Lock discipline, machine-checked by ``repro lint`` (lock-guarded).
+    _GUARDED_BY = {"_clients": "_clients_lock"}
 
     def __init__(self, engine, host="127.0.0.1", port=0):
         self.engine = engine

@@ -202,6 +202,21 @@ class StreamRouter:
         ``'process'``; ignored by ``'serial'``).
     """
 
+    #: Lock discipline, machine-checked by ``repro lint`` (lock-guarded):
+    #: every access to these attributes outside __init__/__del__ and
+    #: *_locked helpers must sit inside ``with self._lock:``.
+    _GUARDED_BY = {
+        "_queue": "_lock",
+        "_submitted": "_lock",
+        "_scored": "_lock",
+        "_dropped": "_lock",
+        "_dims": "_lock",
+        "_drains": "_lock",
+        "_shards": "_lock",
+        "_pool": "_lock",
+        "_procs": "_lock",
+    }
+
     def __init__(self, detector=None, *, window=256, min_points=2,
                  mode="auto", queue_limit=1024, batch_size=32,
                  on_full="error", drain_backend=None, workers=None):
@@ -290,21 +305,25 @@ class StreamRouter:
 
     def stream(self, stream_id):
         """The shard scorer serving ``stream_id``."""
-        return self._shards[stream_id]
+        with self._lock:
+            return self._shards[stream_id]
 
     def streams(self):
         """Stream ids currently served, in creation order."""
-        return list(self._shards)
+        with self._lock:
+            return list(self._shards)
 
     def __contains__(self, stream_id):
-        return stream_id in self._shards
+        with self._lock:
+            return stream_id in self._shards
 
     def __len__(self):
-        return len(self._shards)
+        with self._lock:
+            return len(self._shards)
 
     # ------------------------------------------------------------------ #
     # ingestion
-    def _ensure_stream(self, stream_id):
+    def _ensure_stream_locked(self, stream_id):
         if stream_id not in self._shards:
             if self.detector is None:
                 raise KeyError(
@@ -313,7 +332,7 @@ class StreamRouter:
                 )
             self.add_stream(stream_id)
 
-    def _check_dims(self, stream_id, width):
+    def _check_dims_locked(self, stream_id, width):
         # Validate at submission, not at drain: a malformed arrival must be
         # rejected here, never poison a whole drained burst.
         expected = self._dims.get(stream_id)
@@ -330,7 +349,7 @@ class StreamRouter:
             )
         self._dims[stream_id] = width
 
-    def _enqueue(self, stream_id, row):
+    def _enqueue_locked(self, stream_id, row):
         if len(self._queue) >= self.queue_limit:
             if self.on_full == "error":
                 raise QueueFullError(
@@ -352,9 +371,9 @@ class StreamRouter:
         """
         row = np.asarray(point, dtype=np.float64).reshape(-1)
         with self._lock:
-            self._ensure_stream(stream_id)
-            self._check_dims(stream_id, row.shape[0])
-            self._enqueue(stream_id, row)
+            self._ensure_stream_locked(stream_id)
+            self._check_dims_locked(stream_id, row.shape[0])
+            self._enqueue_locked(stream_id, row)
         return self
 
     def submit_many(self, stream_id, points):
@@ -367,37 +386,44 @@ class StreamRouter:
         if arr.ndim == 1:
             arr = arr[:, None]
         with self._lock:
-            self._ensure_stream(stream_id)
+            self._ensure_stream_locked(stream_id)
             if arr.shape[0]:
-                self._check_dims(stream_id, arr.shape[1])
+                self._check_dims_locked(stream_id, arr.shape[1])
             for row in arr:
-                self._enqueue(stream_id, row)
+                self._enqueue_locked(stream_id, row)
         return self
 
     # ------------------------------------------------------------------ #
     # scoring
-    def _score_group(self, items):
-        """In-process scoring of one shard group (serial/threaded unit)."""
-        return score_shard_group(self._shards, items, self.batch_size)
+    def _score_group(self, shards, items):
+        """In-process scoring of one shard group (serial/threaded unit).
+
+        ``shards`` is the drain's snapshot of the participating shards,
+        cut under the router lock — worker threads must never walk
+        ``self._shards`` while producers register new streams.
+        """
+        return score_shard_group(shards, items, self.batch_size)
 
     def _drain_pool(self):
         """The threaded backend's worker pool, built on first use."""
-        if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.workers,
-                thread_name_prefix="repro-drain",
-            )
-        return self._pool
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-drain",
+                )
+            return self._pool
 
     def _process_pool(self):
         """The process backend's worker-process pool, built on first use."""
-        if self._procs is None:
-            from .workers import ProcessDrainPool
+        with self._lock:
+            if self._procs is None:
+                from .workers import ProcessDrainPool
 
-            self._procs = ProcessDrainPool(self.workers)
-        return self._procs
+                self._procs = ProcessDrainPool(self.workers)
+            return self._procs
 
     def close(self):
         """Shut down the drain backend's workers (if they ever ran).
@@ -405,16 +431,20 @@ class StreamRouter:
         Serial routers need no cleanup; threaded and process routers should
         be closed (or have their process exit) when serving stops — the
         process backend additionally removes its weight-store spool
-        directory and shared-memory arenas.  Idempotent.
+        directory and shared-memory arenas.  Idempotent.  The pools are
+        detached under the lock but torn down outside it — shutdown blocks
+        on in-flight work, and holding the router lock across that would
+        deadlock a concurrent submit.
         """
-        pool, self._pool = self._pool, None
+        with self._lock:
+            pool, self._pool = self._pool, None
+            procs, self._procs = self._procs, None
         if pool is not None:
             pool.shutdown(wait=True)
-        procs, self._procs = self._procs, None
         if procs is not None:
             procs.close()
 
-    def _drain_process(self, group_list):
+    def _drain_process(self, shards, group_list):
         """Score the burst's shard groups on the worker-process pool.
 
         Each group travels to one worker as (stream config, shard state,
@@ -430,13 +460,13 @@ class StreamRouter:
         with zero loss or duplication.
         """
         packed = self._process_pool().score_groups(
-            self._shards, group_list, self.batch_size
+            shards, group_list, self.batch_size
         )
         scored = []
         for group, (results, failures, states) in zip(group_list, packed):
             rows_by_sid = dict(group)
             for stream_id, state in states.items():
-                self._shards[stream_id].load_state_dict(state)
+                shards[stream_id].load_state_dict(state)
             scored.append((results, {
                 stream_id: (exc, rows_by_sid[stream_id])
                 for stream_id, exc in failures.items()
@@ -475,22 +505,32 @@ class StreamRouter:
                 for __ in range(count):
                     stream_id, row = self._queue.popleft()
                     chunks.setdefault(stream_id, []).append(row)
+                # Snapshot the participating shards while the lock is
+                # held: scoring runs lock-free (possibly on worker
+                # threads), and must not walk self._shards while a
+                # producer's add_stream mutates it.  Shard objects are
+                # safe to score unlocked — only this drain touches them
+                # (drains are serialised, submit never runs a scorer).
+                shards = {stream_id: self._shards[stream_id]
+                          for stream_id in chunks}
             # Partition the burst into same-detector shard groups — the
             # unit that shares grouped forwards, hence the unit of
             # backend parallelism (groups share no detector state).
             groups = {}
             for stream_id, rows in chunks.items():
-                key = id(self._shards[stream_id].detector)
+                key = id(shards[stream_id].detector)
                 groups.setdefault(key, []).append((stream_id, rows))
             group_list = list(groups.values())
             if self.drain_backend == "process":
-                scored = self._drain_process(group_list)
+                scored = self._drain_process(shards, group_list)
             elif self.drain_backend == "threaded" and len(group_list) > 1:
-                futures = [self._drain_pool().submit(self._score_group, group)
+                futures = [self._drain_pool().submit(
+                               self._score_group, shards, group)
                            for group in group_list]
                 scored = [future.result() for future in futures]
             else:
-                scored = [self._score_group(group) for group in group_list]
+                scored = [self._score_group(shards, group)
+                          for group in group_list]
             results, failures = {}, {}
             for group_results, group_failures in scored:
                 results.update(group_results)

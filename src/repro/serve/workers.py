@@ -37,6 +37,7 @@ import os
 import pickle
 import shutil
 import tempfile
+import threading
 
 import numpy as np
 
@@ -281,6 +282,18 @@ class ProcessDrainPool:
     removes its spool (weight store + arenas).
     """
 
+    #: Lock discipline, machine-checked by ``repro lint`` (lock-guarded).
+    #: The router serialises drains, so the lock's real job is making
+    #: ``close()`` safe against a concurrent drain — and keeping the
+    #: worker registry/token caches consistent if callers ever share a
+    #: pool directly.
+    _GUARDED_BY = {
+        "_workers": "_lock",
+        "_closed": "_lock",
+        "_store_refs": "_lock",
+        "_pickle_tokens": "_lock",
+    }
+
     def __init__(self, workers, *, arena_bytes=_DEFAULT_ARENA_BYTES,
                  start_method=None):
         import multiprocessing
@@ -298,6 +311,7 @@ class ProcessDrainPool:
             else self._spool
         )
         self._arena_bytes = int(arena_bytes)
+        self._lock = threading.Lock()
         self._store_refs = {}  # id(detector) -> weight-store ref
         self._pickle_tokens = {}  # id(detector) -> token
         self._closed = False
@@ -323,7 +337,7 @@ class ProcessDrainPool:
         worker.dead = False
         return worker
 
-    def _detector_handle(self, detector, worker):
+    def _detector_handle_locked(self, detector, worker):
         """How ``worker`` should obtain ``detector``: store ref or pickle.
 
         Fitted RAE/RDAE go through the weight store (published once,
@@ -409,6 +423,12 @@ class ProcessDrainPool:
         for worker death — crashes become per-stream failures and the dead
         workers are respawned before returning.
         """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("ProcessDrainPool is closed")
+            return self._score_groups_locked(shards, groups, batch_size)
+
+    def _score_groups_locked(self, shards, groups, batch_size):
         workers = self._workers
         for worker in workers:
             if not worker.dead:
@@ -437,7 +457,9 @@ class ProcessDrainPool:
             for stream_id, rows in group:
                 scorer = shards[stream_id]
                 try:
-                    handle = self._detector_handle(scorer.detector, worker)
+                    handle = self._detector_handle_locked(
+                        scorer.detector, worker
+                    )
                 except Exception as exc:  # noqa: BLE001 - unpicklable
                     extra[index][stream_id] = exc
                     continue
@@ -492,17 +514,24 @@ class ProcessDrainPool:
         return outputs
 
     def close(self):
-        """Stop the workers and remove the spool; idempotent."""
-        if self._closed:
-            return
-        self._closed = True
-        for worker in self._workers:
+        """Stop the workers and remove the spool; idempotent.
+
+        The worker list is detached under the lock (so a concurrent
+        ``score_groups`` either completed first or sees the pool closed),
+        but the joins run outside it — they block for seconds on a wedged
+        worker.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+        for worker in workers:
             try:
                 worker.conn.send(("stop",))
             except (OSError, BrokenPipeError, ValueError):
                 pass
-        for worker in self._workers:
+        for worker in workers:
             worker.proc.join(timeout=5)
             self._retire(worker)
-        self._workers = []
         shutil.rmtree(self._spool, ignore_errors=True)

@@ -1,0 +1,55 @@
+"""Fixture for the lock-guarded rule; linted, never imported."""
+
+import threading
+
+
+class Counter:
+    _GUARDED_BY = {"_count": "_lock", "_events": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+        self._events = []
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def peek(self):
+        return self._count  # FIRES
+
+    def wrong_lock(self):
+        with self._other:
+            return self._count  # FIRES
+
+    def closure_escapes_lock(self):
+        with self._lock:
+            def later():
+                return self._count  # FIRES
+            return later
+
+    def closure_takes_its_own(self):
+        def later():
+            with self._lock:
+                return self._count
+        return later
+
+    def _peek_locked(self):
+        # *_locked suffix: the documented caller-holds-the-lock escape.
+        return self._count
+
+    def snapshot(self):
+        with self._lock:
+            return (self._count, list(self._events))
+
+    def waved(self):
+        return self._count  # repro: lint-ok[lock-guarded] fixture: exercising suppression
+
+
+class Undeclared:
+    def __init__(self):
+        self._count = 0
+
+    def peek(self):
+        # No _GUARDED_BY map: the rule has no contract to enforce.
+        return self._count

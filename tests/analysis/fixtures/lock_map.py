@@ -1,0 +1,38 @@
+"""Fixture for the lock-map rule; linted, never imported."""
+
+import threading
+
+
+class NotADict:
+    _GUARDED_BY = ["_count"]  # FIRES
+
+    def __init__(self):
+        self._count = 0
+
+
+class GhostEntries:
+    _GUARDED_BY = {"_ghost": "_lock", "_count": "_missing_lock"}  # FIRES
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+
+class Valid:
+    _GUARDED_BY = {"_count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+
+class NoInitToValidate:
+    # Mixin style: without an __init__ the assignment check is skipped.
+    _GUARDED_BY = {"_count": "_lock"}
+
+
+class Waved:
+    _GUARDED_BY = ["_count"]  # repro: lint-ok[lock-map] fixture: exercising suppression
+
+    def __init__(self):
+        self._count = 0

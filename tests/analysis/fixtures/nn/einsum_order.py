@@ -1,0 +1,19 @@
+"""Fixture for the einsum-order rule; path contains an nn segment."""
+
+import numpy as np
+
+
+def free_order(a, b):
+    return np.einsum("ij,jk->ik", a, b)  # FIRES
+
+
+def optimizer_on(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize=True)  # FIRES
+
+
+def fixed_order(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize=False)
+
+
+def waved_through(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize=True)  # repro: lint-ok[einsum-order] fixture: exercising suppression

@@ -1,0 +1,67 @@
+"""Fixture for the resource-close rule; linted, never imported."""
+
+import mmap
+import socket
+from concurrent.futures import ThreadPoolExecutor
+
+
+def leaks_file(path):
+    handle = open(path)  # FIRES
+    data = handle.read()
+    return data
+
+
+def leaks_socket():
+    sock = socket.socket()  # FIRES
+    sock.connect(("127.0.0.1", 9))
+
+
+def leaks_pool(jobs):
+    pool = ThreadPoolExecutor(2)  # FIRES
+    list(pool.map(str, jobs))
+
+
+def leaks_mmap(handle):
+    view = mmap.mmap(handle.fileno(), 0)  # FIRES
+    head = bytes(view[:4])
+    return head
+
+
+def with_managed(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+def finally_closed(path):
+    handle = open(path)
+    try:
+        return handle.read()
+    finally:
+        handle.close()
+
+
+def custody_returned(path):
+    handle = open(path)
+    return handle
+
+
+def custody_stored(self, path):
+    handle = open(path)
+    self._handle = handle
+
+
+def custody_passed(path, registry):
+    handle = open(path)
+    registry.adopt(handle)
+
+
+def entered_later(path):
+    handle = open(path)
+    with handle:
+        return handle.read()
+
+
+def waved(path):
+    handle = open(path)  # repro: lint-ok[resource-close] fixture: exercising suppression
+    text = handle.read()
+    return text

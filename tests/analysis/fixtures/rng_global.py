@@ -1,0 +1,37 @@
+"""Fixture for the rng-global rule; linted, never imported.
+
+Lines carrying the FIRES tag must produce a finding; lines with a
+lint-ok pragma must land in the suppressed list.
+"""
+
+import random
+
+import numpy as np
+
+
+def legacy_api():
+    np.random.seed(0)  # FIRES
+    return np.random.rand(3)  # FIRES
+
+
+def unseeded():
+    return np.random.default_rng()  # FIRES
+
+
+def stdlib_global():
+    return random.random()  # FIRES
+
+
+def forward(x, out=None):
+    rng = np.random.default_rng(0)  # FIRES
+    return x + rng.standard_normal(x.shape)
+
+
+def sanctioned_fallback(rng=None):
+    # A seeded fallback outside kernel scope is the blessed idiom.
+    rng = np.random.default_rng(0) if rng is None else rng
+    return rng.standard_normal(4)
+
+
+def waved_through():
+    return np.random.default_rng()  # repro: lint-ok[rng-global] fixture: exercising suppression

@@ -1,0 +1,37 @@
+"""Fixture for the set-reduction rule; linted, never imported."""
+
+import math
+
+
+def reduce_literal():
+    return sum({1.0, 2.0, 3.0})  # FIRES
+
+
+def reduce_comprehension(values):
+    return sum(v * v for v in {float(v) for v in values})  # FIRES
+
+
+def reduce_fsum(values):
+    return math.fsum(set(values))  # FIRES
+
+
+def loop_accumulate(values):
+    total = 0.0
+    for v in set(values):  # FIRES
+        total += v
+    return total
+
+
+def ordered_is_fine(values):
+    return sum(sorted(set(values)))
+
+
+def non_numeric_loop(values):
+    names = []
+    for v in set(values):
+        names.append(v)
+    return names
+
+
+def waved_through(values):
+    return sum(set(values))  # repro: lint-ok[set-reduction] fixture: exercising suppression

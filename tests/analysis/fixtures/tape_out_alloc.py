@@ -1,0 +1,44 @@
+"""Fixture for the tape-out-alloc rule; linted, never imported."""
+
+import numpy as np
+
+scratch = [None]
+
+
+def forward(x, out=None):
+    tmp = np.zeros(x.shape)  # FIRES
+    return tmp + x
+
+
+def forward_guarded(x, out=None):
+    def forward(inp, out=None):
+        if out is None:
+            out = np.empty(inp.shape)
+        np.copyto(out, inp)
+        return out
+    return forward(x, out=out)
+
+
+def forward_scratch_cache(x, out=None):
+    def forward(inp, out=None):
+        tmp = scratch[0]
+        if tmp is None or tmp.shape != inp.shape:
+            tmp = scratch[0] = np.empty(inp.shape)
+        np.multiply(inp, 2.0, out=tmp)
+        return tmp
+    return forward(x, out=out)
+
+
+def not_a_forward(x, out=None):
+    pass
+
+
+def helper(x):
+    # No out= parameter: not a replayable closure, allocate freely.
+    return np.zeros(x.shape)
+
+
+class WavedThrough:
+    def forward(self, x, out=None):
+        tmp = np.empty(x.shape)  # repro: lint-ok[tape-out-alloc] fixture: exercising suppression
+        return tmp

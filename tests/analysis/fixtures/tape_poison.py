@@ -1,0 +1,39 @@
+"""Fixture for the tape-poison rule; linted, never imported."""
+
+from somewhere import dropout, relu, softmax  # noqa: F401 - fixture only
+
+
+class PledgesButPoisons:
+    tape_safe = True
+
+    def forward(self, x):
+        return softmax(x)  # FIRES
+
+    def regularise(self, x):
+        return dropout(x, 0.5)  # FIRES
+
+
+class HonestEager:
+    tape_safe = False
+
+    def forward(self, x):
+        return softmax(x)
+
+
+class NoPledge:
+    def forward(self, x):
+        return dropout(x, 0.1)
+
+
+class PledgesAndKeepsIt:
+    tape_safe = True
+
+    def forward(self, x):
+        return relu(x)
+
+
+class WavedThrough:
+    tape_safe = True
+
+    def forward(self, x):
+        return softmax(x)  # repro: lint-ok[tape-poison] fixture: exercising suppression

@@ -1,0 +1,25 @@
+"""Shared helpers for the static-analysis suite (not a test module)."""
+
+import os
+
+from repro.analysis import rules_by_id, run_lint
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture_path(name):
+    return os.path.join(FIXTURES, name)
+
+
+def marked_lines(path):
+    """1-indexed lines tagged ``# FIRES`` — the fixture's expected findings."""
+    with open(path) as handle:
+        return {
+            number for number, line in enumerate(handle, start=1)
+            if "# FIRES" in line
+        }
+
+
+def lint_fixture(name, rule_id):
+    """Lint one fixture with one rule; returns the report."""
+    return run_lint([fixture_path(name)], rules=rules_by_id([rule_id]))

@@ -1,0 +1,115 @@
+"""The ``repro lint`` CLI surface: exit codes, JSON, rule selection,
+and the suppression inventory."""
+
+import json
+import textwrap
+
+import pytest
+
+from lintutil import fixture_path
+
+from repro.cli import main
+
+
+def write(tmp_path, source, name="sample.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    path = write(tmp_path, "def fine():\n    return 1\n")
+    assert main(["lint", path]) == 0
+    out = capsys.readouterr().out
+    assert "1 file checked, 0 findings" in out
+
+
+def test_findings_exit_nonzero_with_location_and_hint(capsys):
+    assert main(["lint", fixture_path("rng_global.py")]) == 1
+    out = capsys.readouterr().out
+    assert "[rng-global]" in out
+    assert "rng_global.py:" in out
+    assert "hint:" in out
+
+
+def test_json_report_is_machine_readable(capsys):
+    assert main(["lint", "--json", fixture_path("set_reduction.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files"] == 1
+    assert payload["findings"]
+    for finding in payload["findings"]:
+        assert finding["rule"] == "set-reduction"
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message", "hint"}
+    assert payload["suppressed"]  # the fixture's waved-through line
+
+
+def test_rules_flag_selects_a_subset(capsys):
+    # The rng fixture is dirty, but a set-reduction-only run passes it.
+    code = main(["lint", "--rules", "set-reduction",
+                 fixture_path("rng_global.py")])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_rules_list_prints_the_catalog(capsys):
+    assert main(["lint", "--rules", "list"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("rng-global", "set-reduction", "einsum-order",
+                    "tape-poison", "tape-out-alloc", "lock-guarded",
+                    "lock-map", "resource-close"):
+        assert rule_id in out
+
+
+def test_unknown_rule_id_exits_two(tmp_path, capsys):
+    path = write(tmp_path, "x = 1\n")
+    assert main(["lint", "--rules", "no-such-rule", path]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_list_suppressions_enumerates_pragmas(capsys):
+    assert main(["lint", "--list-suppressions",
+                 fixture_path("rng_global.py")]) == 0
+    out = capsys.readouterr().out
+    assert "[rng-global]" in out
+    assert "fixture: exercising suppression" in out
+    assert "1 suppression" in out
+
+
+def test_list_suppressions_fails_on_missing_reason(tmp_path, capsys):
+    path = write(tmp_path, """\
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()  # repro: lint-ok[rng-global]
+    """)
+    assert main(["lint", "--list-suppressions", path]) == 1
+    err = capsys.readouterr().err
+    assert "suppression-reason" in err
+
+
+def test_list_suppressions_fails_on_unknown_rule(tmp_path, capsys):
+    path = write(tmp_path, """\
+        def f():
+            return 1  # repro: lint-ok[rng-globall] typo
+    """)
+    assert main(["lint", "--list-suppressions", path]) == 1
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_default_path_is_the_installed_package(capsys):
+    # No paths: lints the shipped repro package, which must be clean —
+    # the CLI default and the tier-1 gate enforce the same contract.
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+@pytest.mark.parametrize("fixture,expected_rule", [
+    ("tape_poison.py", "tape-poison"),
+    ("lock_guarded.py", "lock-guarded"),
+    ("resource_close.py", "resource-close"),
+])
+def test_each_family_reaches_the_cli(fixture, expected_rule, capsys):
+    assert main(["lint", fixture_path(fixture)]) == 1
+    assert "[%s]" % expected_rule in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Perf budget: ``repro lint`` answers in seconds, cold or warm.
+
+The checker only stays in developers' loops (and cheap in CI) if a full
+run over the package is near-instant.  The budget is generous for slow
+CI machines; the cache assertion is the real regression tripwire — a
+second run over an unchanged tree must not re-parse anything.
+"""
+
+import os
+import time
+
+import pytest
+
+import repro
+from repro.analysis import clear_cache, run_lint
+from repro.analysis.walker import module_context
+
+PACKAGE_DIR = os.path.dirname(os.path.abspath(repro.__file__))
+
+
+@pytest.mark.slow
+def test_full_lint_fits_the_budget():
+    clear_cache()
+    start = time.perf_counter()
+    report = run_lint([PACKAGE_DIR])
+    cold = time.perf_counter() - start
+    assert len(report.files) > 80
+    assert cold < 5.0, "cold lint took %.2fs (budget 5s)" % cold
+
+    start = time.perf_counter()
+    run_lint([PACKAGE_DIR])
+    warm = time.perf_counter() - start
+    assert warm < 5.0, "warm lint took %.2fs (budget 5s)" % warm
+
+
+def test_cache_returns_the_same_context_for_unchanged_files():
+    clear_cache()
+    path = os.path.join(PACKAGE_DIR, "cli.py")
+    first = module_context(path)
+    second = module_context(path)
+    assert second is first  # stat-keyed hit: no re-parse, no re-index
+
+
+def test_cache_invalidates_on_modification(tmp_path):
+    path = tmp_path / "mutating.py"
+    path.write_text("x = 1\n")
+    first = module_context(str(path))
+    path.write_text("x = 2\n")
+    # Force a distinct mtime even on coarse-grained filesystems.
+    stat = os.stat(path)
+    os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+    second = module_context(str(path))
+    assert second is not first
+    assert second.source == "x = 2\n"

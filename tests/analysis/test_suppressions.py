@@ -1,0 +1,131 @@
+"""The suppression audit: pragmas are contracts, not opt-outs.
+
+A ``# repro: lint-ok[...]`` pragma must name a known rule, give a
+reason, and still match a live finding — and none of those audit
+findings can themselves be suppressed.
+"""
+
+import textwrap
+
+from repro.analysis import NON_SUPPRESSIBLE, run_lint
+
+
+def write(tmp_path, source, name="sample.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return str(path)
+
+
+def rules_fired(report):
+    return {f.rule for f in report.findings}
+
+
+def test_missing_reason_is_a_finding(tmp_path):
+    path = write(tmp_path, """\
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()  # repro: lint-ok[rng-global]
+    """)
+    report = run_lint([path])
+    assert "suppression-reason" in rules_fired(report)
+    # The violation itself is still waved through — the audit flags the
+    # pragma's hygiene, it does not revoke the suppression.
+    assert "rng-global" not in rules_fired(report)
+
+
+def test_whitespace_reason_counts_as_missing(tmp_path):
+    path = write(tmp_path, """\
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()  # repro: lint-ok[rng-global]
+    """)
+    report = run_lint([path])
+    assert "suppression-reason" in rules_fired(report)
+
+
+def test_unknown_rule_id_is_a_finding(tmp_path):
+    path = write(tmp_path, """\
+        def f():
+            return 1  # repro: lint-ok[rng-globall] typo'd rule id
+    """)
+    report = run_lint([path])
+    assert "suppression-reason" in rules_fired(report)
+
+
+def test_stale_pragma_is_a_finding(tmp_path):
+    path = write(tmp_path, """\
+        def f():
+            return 1  # repro: lint-ok[rng-global] nothing to suppress here
+    """)
+    report = run_lint([path])
+    assert "suppression-unused" in rules_fired(report)
+
+
+def test_stale_audit_skipped_under_rule_subset(tmp_path):
+    from repro.analysis import rules_by_id
+
+    path = write(tmp_path, """\
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()  # repro: lint-ok[rng-global] justified: fixture
+    """)
+    # Under a set-reduction-only run the rng-global pragma is idle by
+    # selection, not stale — the unused audit must stay quiet.
+    report = run_lint([path], rules=rules_by_id(["set-reduction"]))
+    assert "suppression-unused" not in rules_fired(report)
+
+
+def test_audit_findings_cannot_be_suppressed(tmp_path):
+    path = write(tmp_path, """\
+        def f():
+            return 1  # repro: lint-ok[suppression-unused] self-excusing pragma
+    """)
+    report = run_lint([path])
+    # The pragma matches nothing suppressible; the unused audit fires on
+    # its own line despite naming itself.
+    assert "suppression-unused" in rules_fired(report)
+    assert report.suppressed == []
+
+
+def test_empty_rule_list_is_a_finding(tmp_path):
+    path = write(tmp_path, """\
+        def f():
+            return 1  # repro: lint-ok[] no rules named
+    """)
+    report = run_lint([path])
+    assert "suppression-reason" in rules_fired(report)
+
+
+def test_parse_error_is_reported_not_raised(tmp_path):
+    path = write(tmp_path, "def broken(:\n    pass\n")
+    report = run_lint([path])
+    assert rules_fired(report) == {"parse-error"}
+    assert not report.ok
+
+
+def test_non_suppressible_set_is_the_audit_rules():
+    assert NON_SUPPRESSIBLE == {
+        "suppression-reason", "suppression-unused", "parse-error"
+    }
+
+
+def test_report_inventories_every_pragma(tmp_path):
+    path = write(tmp_path, """\
+        import numpy as np
+
+        def f():
+            return np.random.default_rng()  # repro: lint-ok[rng-global] justified: fixture
+
+        def g():
+            return 1  # repro: lint-ok[set-reduction] stale on purpose
+    """)
+    report = run_lint([path])
+    assert len(report.suppressions) == 2
+    reasons = {s.reason for s in report.suppressions}
+    assert reasons == {"justified: fixture", "stale on purpose"}
+    payload = report.to_dict()
+    assert len(payload["suppressions"]) == 2
+    assert len(payload["suppressed"]) == 1  # only the rng pragma matched
