@@ -1,14 +1,20 @@
-"""Tape-safety rules: poisoners in ``tape_safe`` modules, replay allocations.
+"""Tape-safety rules: stale-draw poisoners, replay allocations.
 
-The PR 5 training tape replays recorded ``forward(out=None)`` closures
+The training tape replays recorded ``forward(out=None)`` closures
 bit-identically — but only if (a) modules that opt in with ``tape_safe =
-True`` really do lower onto replayable primitives, and (b) the closures
-reuse their ``out`` buffers instead of allocating fresh arrays per replay.
-Violations of (a) are caught at *record* time today (``_poison_tape``),
-i.e. on the first fit of whoever wires a poisoner in; violations of (b)
-are never caught — they silently turn the fast path into an allocation
-loop.  Both are statically visible, so these rules move the discovery to
-lint time.
+True`` route their stochastic draws through the tape's persistent-buffer
+protocol (``nn.functional.sampled_normal``, ``nn.Dropout``'s mask buffer)
+so every replayed epoch re-draws, and (b) the closures reuse their ``out``
+buffers instead of allocating fresh arrays per replay.  Violations of (a)
+are the nastiest kind: a raw rng draw wrapped into a ``Tensor`` records
+fine and replays fine — with the *same* sample every epoch, silently
+diverging from eager training.  Violations of (b) silently turn the fast
+path into an allocation loop.  Both are statically visible, so these rules
+move the discovery to lint time.
+
+(Tape v1 treated ``softmax``/``dropout`` calls themselves as poisoners;
+since tape v2 both record through buffered primitives, and the rule now
+watches for the protocol being *bypassed* instead.)
 """
 
 from __future__ import annotations
@@ -20,11 +26,18 @@ from .walker import dotted_name
 
 __all__ = ["TapePoisonRule", "TapeOutAllocRule"]
 
-#: Primitives that poison a recording at capture time (they bake run-time
-#: data — a max shift, a sampled mask — into the recorded graph).  Matched
-#: by trailing call-name segment so ``softmax``, ``F.softmax`` and
-#: ``nn.functional.softmax`` all hit.
-_POISONERS = frozenset(("softmax", "dropout"))
+#: Generator sampling methods.  A draw from any of these wrapped straight
+#: into a ``Tensor`` bakes one record-time sample into the recorded graph;
+#: matched as the trailing segment of a *dotted* call (``rng.random``,
+#: ``self._rng.standard_normal``) so plain functions named ``choice`` or
+#: ``random`` don't hit.
+_SAMPLERS = frozenset((
+    "random", "standard_normal", "normal", "uniform", "integers",
+    "choice", "permutation", "binomial", "poisson", "exponential",
+))
+
+#: Constructors that lift an array into the autograd graph.
+_TENSOR_WRAPPERS = frozenset(("Tensor", "as_tensor"))
 
 
 def _class_declares_tape_safe(classdef):
@@ -38,19 +51,33 @@ def _class_declares_tape_safe(classdef):
     return False
 
 
+def _sampler_call(node):
+    """The dotted name of an rng sampler call inside ``node``, or None."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        name = dotted_name(sub.func)
+        if name is None or "." not in name:
+            continue
+        if name.rsplit(".", 1)[-1] in _SAMPLERS:
+            return name
+    return None
+
+
 @register
 class TapePoisonRule(Rule):
     id = "tape-poison"
     category = "tape-safety"
     description = (
-        "a module declaring tape_safe = True calls a capture-time poisoner "
-        "(softmax/dropout): the tape_safe pledge says every primitive in "
-        "its forward is replayable, and these bake per-call data into the "
-        "recorded graph"
+        "a module declaring tape_safe = True wraps a raw rng draw in a "
+        "Tensor, bypassing the tape's buffer protocol: the draw happens "
+        "once at record time, so every replayed epoch reuses the same "
+        "stale sample and silently diverges from eager training"
     )
     hint = (
-        "drop the tape_safe declaration (the fit falls back to eager), or "
-        "rebuild the forward from replayable primitives"
+        "route stochastic draws through the tape buffer protocol "
+        "(nn.functional.sampled_normal, nn.Dropout's mask buffer), which "
+        "re-draws into a persistent buffer on every replay"
     )
 
     def check(self, ctx):
@@ -69,13 +96,21 @@ class TapePoisonRule(Rule):
                     name = dotted_name(call.func)
                     if name is None:
                         continue
-                    leaf = name.rsplit(".", 1)[-1]
-                    if leaf in _POISONERS:
+                    if name.rsplit(".", 1)[-1] not in _TENSOR_WRAPPERS:
+                        continue
+                    arguments = list(call.args)
+                    arguments += [kw.value for kw in call.keywords]
+                    for argument in arguments:
+                        sampler = _sampler_call(argument)
+                        if sampler is None:
+                            continue
                         yield self.finding(
                             ctx, call,
-                            "%s called inside tape_safe class %s.%s"
-                            % (name, node.name, method.name),
+                            "%s(...) wraps a %s(...) draw inside tape_safe "
+                            "class %s.%s" % (name, sampler, node.name,
+                                             method.name),
                         )
+                        break
 
 
 #: Array constructors that allocate a fresh result every call.

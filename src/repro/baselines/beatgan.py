@@ -17,6 +17,9 @@ __all__ = ["BeatGAN"]
 
 
 class _ConvGenerator(nn.Module):
+    # Conv/ReLU/pool/upsample chain: every child is a safe tape leaf.
+    tape_safe = True
+
     def __init__(self, dims, width, kernels, kernel_size, rng):
         super().__init__()
         self.encoder = nn.Sequential(
@@ -38,6 +41,10 @@ class _ConvGenerator(nn.Module):
 
 
 class _ConvDiscriminator(nn.Module):
+    # Conv/LeakyReLU/pool plus a Linear head over mean-pooled features;
+    # its inner optimisation step records as call/backward tape events.
+    tape_safe = True
+
     def __init__(self, dims, width, kernels, kernel_size, rng):
         super().__init__()
         self.features = nn.Sequential(
@@ -80,6 +87,11 @@ class BeatGAN(NeuralWindowDetector):
         )
         self._d_optimizer = nn.Adam(self._discriminator.parameters(), lr=self.lr)
         return _ConvGenerator(dims, width, self.kernels, self.kernel_size, rng)
+
+    def _tape_modules(self):
+        # The adversarial loss also runs the discriminator's forward (and
+        # its optimiser step), so the tape must vet it too.
+        return [self.model_, self._discriminator]
 
     def _reconstruct(self, model, batch):
         # Windows arrive as (N, width, D); conv layers want (N, D, width).

@@ -17,6 +17,9 @@ __all__ = ["CNNAE"]
 
 
 class _Conv2dAE(nn.Module):
+    # Conv2d/ReLU/pool/upsample chain: every child is a safe tape leaf.
+    tape_safe = True
+
     def __init__(self, channels, height, width, kernels, kernel_size, rng):
         super().__init__()
         self.encoder = nn.Sequential(

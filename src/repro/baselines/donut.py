@@ -18,6 +18,10 @@ __all__ = ["Donut"]
 
 
 class _VAE(nn.Module):
+    # Pure Linear/ReLU stacks; the reparameterisation noise is drawn via
+    # nn.functional.sampled_normal, which redraws on the tape per replay.
+    tape_safe = True
+
     def __init__(self, input_dim, hidden, latent, rng):
         super().__init__()
         self.enc = nn.Sequential(
@@ -74,7 +78,9 @@ class Donut(NeuralWindowDetector):
         return batch.reshape(n, batch.shape[1] * batch.shape[2])
 
     def _sample(self, mu, logvar):
-        noise = nn.Tensor(self._noise_rng.standard_normal(mu.shape))
+        # Drawn through the tape's sampling primitive: replayed epochs
+        # redraw from self._noise_rng in eager draw order, bit-identical.
+        noise = nn.functional.sampled_normal(mu.shape, self._noise_rng)
         return mu + (logvar * 0.5).exp() * noise
 
     def _batch_loss(self, model, batch):

@@ -57,6 +57,15 @@ class NeuralWindowDetector(WindowedDetector):
         """Training loss for a ``(N, width, dims)`` Tensor batch."""
         return nn.mse_loss(self._reconstruct(model, batch), batch.data)
 
+    def _tape_modules(self):
+        """Every module the recorded loss runs a forward through.
+
+        Subclasses whose loss involves more than ``self.model_`` (BeatGAN's
+        adversarial loss also runs its discriminator) extend this list so
+        the tape safety verdict covers the whole recorded program.
+        """
+        return [self.model_]
+
     def _reconstruct(self, model, batch):
         """Reconstruct a ``(N, width, dims)`` Tensor batch; default: model(batch)."""
         return model(batch)
@@ -77,22 +86,39 @@ class NeuralWindowDetector(WindowedDetector):
         self.loss_history_ = []
         num = windows.shape[0]
         batch = min(self.batch_size, num)
+
+        def loss_fn(x):
+            return self._batch_loss(self.model_, x)
+
         for __ in range(self.epochs):
             started = time.perf_counter()
             order = rng.permutation(num)
             epoch_loss = 0.0
             steps = 0
             for lo in range(0, num, batch):
-                idx = order[lo : lo + batch]
+                data = windows[order[lo : lo + batch]]
                 optimizer.zero_grad()
-                loss = self._batch_loss(self.model_, nn.Tensor(windows[idx]))
-                loss.backward()
+                # Tape-compiled fast path: one recorded program per batch
+                # shape, replayed on later steps.  The record step *is* an
+                # eager step and a poisoned recording still computed eager
+                # semantics, so results are identical either way.
+                tape = nn.tape.training_tape(self.model_, data, None,
+                                             loss_fn=loss_fn,
+                                             modules=self._tape_modules())
+                if tape is not None:
+                    tape.step(data, None)
+                    loss_value = tape.loss_value
+                else:
+                    loss = self._batch_loss(self.model_, nn.Tensor(data))
+                    loss.backward()
+                    loss_value = loss.item()
                 nn.clip_grad_norm(self.model_.parameters(), 5.0)
                 optimizer.step()
-                epoch_loss += loss.item()
+                epoch_loss += loss_value
                 steps += 1
             self.loss_history_.append(epoch_loss / max(steps, 1))
             self.epoch_seconds_.append(time.perf_counter() - started)
+        nn.tape.release_tapes(self.model_)
         return self
 
     def score(self, series):

@@ -15,6 +15,10 @@ __all__ = ["RNNAE"]
 
 
 class _Seq2SeqAE(nn.Module):
+    # Forward lowers onto LSTM/Linear primitives plus repeat_hidden (a
+    # traced broadcast): structurally replayable by the training tape.
+    tape_safe = True
+
     def __init__(self, dims, hidden, rng):
         super().__init__()
         self.encoder = nn.LSTM(dims, hidden, rng=rng)

@@ -15,6 +15,10 @@ __all__ = ["TransformerAE"]
 
 
 class _TransformerAE(nn.Module):
+    # Linear/attention/positional-encoding stacks are all safe tape leaves
+    # (softmax and dropout record through the tape's buffer protocol).
+    tape_safe = True
+
     def __init__(self, dims, d_model, num_heads, num_layers, bottleneck, rng):
         super().__init__()
         self.embed = nn.Linear(dims, d_model, rng=rng)

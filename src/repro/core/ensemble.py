@@ -12,11 +12,17 @@ analysis.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..baselines.base import BaseDetector
+from .. import nn
+from ..baselines.base import BaseDetector, as_series
+from ..nn import batched as nnb
+from ..rpca import apply_prox as _prox
+from .autoencoders import series_to_tensor
+from .convergence import ConvergenceTrace, stopping_conditions
 from .rae import RAE
 from .rdae import RDAE
 
@@ -39,25 +45,38 @@ class RobustEnsemble(BaseDetector):
         mode and tape recording are thread-local, so a threaded fit is
         bit-identical to the serial one — member seeds and architecture
         jitter are drawn sequentially before any fitting starts.
+    compile: None (default) or "batched".  "batched" groups members with
+        identical specs (architecture hyperparameters and ADMM settings;
+        only seeds differ) and fits each group as one leading-axis-batched
+        tensor program (see :mod:`repro.nn.batched`) — one tape-replayed
+        epoch per group instead of N python fits, sidestepping the GIL.
+        Results are bit-identical to the serial fits; members whose spec
+        has no identical peer (or a base/arch without a batched program)
+        fall back to the ordinary serial fit, with the reasons recorded in
+        ``compile_fallback_``.
     base_kwargs: forwarded to every member's constructor.
     """
 
     name = "RAE-Ens"
 
     def __init__(self, base="rae", n_members=5, jitter=True, combine="median",
-                 seed=0, n_jobs=1, **base_kwargs):
+                 seed=0, n_jobs=1, compile=None, **base_kwargs):
         if base not in ("rae", "rdae"):
             raise ValueError("base must be 'rae' or 'rdae'")
         if combine not in ("median", "mean"):
             raise ValueError("combine must be 'median' or 'mean'")
+        if compile not in (None, "batched"):
+            raise ValueError("compile must be None or 'batched'")
         self.base = base
         self.n_members = int(n_members)
         self.jitter = bool(jitter)
         self.combine = combine
         self.seed = seed
         self.n_jobs = int(n_jobs)
+        self.compile = compile
         self.base_kwargs = base_kwargs
         self.members_ = []
+        self.compile_fallback_ = []
         self.name = "%s-Ens" % base.upper()
 
     def _member(self, index, rng):
@@ -78,9 +97,18 @@ class RobustEnsemble(BaseDetector):
     def fit(self, series):
         rng = np.random.default_rng(self.seed)
         self.members_ = []  # a failed re-fit must not leave stale members
+        self.compile_fallback_ = []
         # Draw every member's seed/jitter up front (serial-identical RNG
         # stream), then fit — concurrently when n_jobs allows.
         members = [self._member(index, rng) for index in range(self.n_members)]
+        if self.compile == "batched":
+            groups, singles = self._batched_groups(members)
+            for group in groups:
+                self._fit_group_batched(group, series)
+            for member in singles:
+                member.fit(series)
+            self.members_ = members
+            return self
         workers = self._workers()
         if workers > 1:
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -92,6 +120,124 @@ class RobustEnsemble(BaseDetector):
                 member.fit(series)
         self.members_ = members
         return self
+
+    # -- batched compilation ------------------------------------------- #
+    def _batched_groups(self, members):
+        """Partition members into batchable groups and serial singletons.
+
+        Only RAE members with the cnn architecture have a batched program;
+        within those, members batch when their full spec (everything except
+        the seed) matches — stacked parameters must be identical shapes and
+        the shared ADMM driver must apply identical lam/epsilon/prox/epoch
+        settings to every slice.
+        """
+        groups = {}
+        singles = []
+        for member in members:
+            reason = None
+            if self.base != "rae":
+                reason = "base=%r has no batched program" % self.base
+            elif member.arch != "cnn":
+                reason = "arch=%r has no batched program" % member.arch
+            if reason is not None:
+                self.compile_fallback_.append(reason)
+                singles.append(member)
+                continue
+            key = (member.kernels, member.num_layers, member.kernel_size,
+                   member.lam, member.epsilon, member.max_iterations,
+                   member.prox, member.epochs_per_iteration, member.lr)
+            groups.setdefault(key, []).append(member)
+        batched = []
+        for key, group in groups.items():
+            if len(group) >= 2:
+                batched.append(group)
+            else:
+                self.compile_fallback_.append(
+                    "spec %r has no identical-spec peer to batch with" % (key,)
+                )
+                singles.extend(group)
+        return batched, singles
+
+    def _fit_group_batched(self, members, series):
+        """Fit one identical-spec member group as a batched tensor program.
+
+        Replicates :meth:`repro.core.rae.RAE.fit` per member slice, bit for
+        bit: per-member scaler stats (identical across the group — they
+        depend only on the series), per-member ADMM state (outliers, prox,
+        stopping conditions, convergence traces), one *shared* batched
+        train/replay per iteration, and per-member freezing — a converged
+        member's parameter slices are snapshotted at its convergence
+        iteration, exactly where its serial fit would have stopped, while
+        the rest of the group keeps training (the batched ops are
+        per-member independent, so the dead slices cannot perturb active
+        ones).  Only ``epoch_seconds_`` differs in meaning: members of one
+        group share each iteration's wall-clock reading.
+        """
+        spec = members[0]
+        raw = as_series(series)
+        for member in members:
+            member._fit_scaler(raw)
+        arr = spec._apply_scaler(raw)
+        models = [
+            member._build(arr.shape[1], np.random.default_rng(member.seed))
+            for member in members
+        ]
+        bmodel = nnb.BatchedConvSeriesAE(models)
+        optimizer = nn.Adam(bmodel.parameters(), lr=spec.lr)
+        n_group = len(members)
+        stacked = np.empty((n_group, arr.shape[1], arr.shape[0]))
+
+        outliers = [np.zeros_like(arr) for __ in members]
+        previous = [arr.copy() for __ in members]
+        cleans = [arr.copy() for __ in members]
+        traces = [ConvergenceTrace() for __ in members]
+        for member in members:
+            member.epoch_seconds_ = []
+        active = list(range(n_group))
+        frozen = {}
+        for __ in range(spec.max_iterations):
+            started = time.perf_counter()
+            for i in active:
+                stacked[i] = series_to_tensor(arr - outliers[i])[0]
+            recon = nnb.batched_train_reconstruction(
+                bmodel, optimizer, stacked,
+                epochs=spec.epochs_per_iteration, n_members=n_group,
+            )
+            converged = []
+            for i in active:
+                clean = recon[i].T
+                residual = arr - clean
+                outliers[i] = _prox(residual, spec.lam, spec.prox)
+                condition1, condition2, previous[i] = stopping_conditions(
+                    arr, clean, outliers[i], previous[i]
+                )
+                traces[i].record(
+                    np.sqrt(np.mean((arr - clean) ** 2)), condition1, condition2
+                )
+                cleans[i] = clean
+                if condition1 < spec.epsilon or condition2 < spec.epsilon:
+                    traces[i].converged = True
+                    converged.append(i)
+            elapsed = time.perf_counter() - started
+            for i in active:
+                members[i].epoch_seconds_.append(elapsed)
+            for i in converged:
+                frozen[i] = bmodel.snapshot_member(i)
+                active.remove(i)
+            if not active:
+                break
+
+        for i, member in enumerate(members):
+            arrays = frozen[i] if i in frozen else bmodel.snapshot_member(i)
+            model = models[i]
+            for (__, param), data in zip(model.named_parameters(), arrays):
+                param.data = data
+            member.model_ = model
+            member.clean_ = cleans[i]
+            member.outlier_ = outliers[i]
+            member._residual = arr - cleans[i]
+            member.trace_ = traces[i]
+        nn.tape.release_tapes(bmodel)
 
     def score(self, series):
         if not self.members_:

@@ -6,6 +6,7 @@ the substitution rationale.
 
 from . import functional
 from . import tape
+from . import batched
 from .attention import MultiHeadAttention, PositionalEncoding, TransformerEncoderLayer
 from .init import seed
 from .layers import (
@@ -49,6 +50,7 @@ __all__ = [
     "seed",
     "functional",
     "tape",
+    "batched",
     "ReceptiveField",
     "UNBOUNDED",
     "Module",

@@ -1,0 +1,280 @@
+"""Leading-axis-batched ensemble programs (tape v2's batched replay).
+
+A :class:`repro.core.ensemble.RobustEnsemble` fits N independent members
+whose training graphs are *structurally identical* whenever their specs
+match — same architecture, same shapes, different seeds.  Fitting them as N
+python fits (even thread-parallel ones) leaves most of the arithmetic
+serialised behind the GIL and the interpreter.  This module stacks the M
+members of such a group along a new leading axis — parameters ``(M, ...)``,
+activations ``(M, C, L)``, gradients ``(M, ...)`` — so one training epoch of
+the whole group executes as a handful of batched GEMMs, and the tape then
+replays that single batched program per epoch.
+
+Bit-identity to the serial member fits is a hard contract (the ensemble's
+``compile="batched"`` mode must change wall-clock, never results).  Every
+batched op here is constructed so its member slice runs the exact
+floating-point operation sequence of the serial op:
+
+* ``np.matmul`` on ``(M, a, b) @ (M, b, c)`` stacks computes each slice
+  exactly like the serial 2D GEMM (measured, and guarded by the ensemble
+  contract test);
+* reductions are taken per member (``sum(axis=(1, 2))``, per-member
+  ``np.dot`` norms) over the same contiguous memory order the serial fit
+  reduces, so pairwise summation splits identically;
+* the loss scales by ``1 / (D * C)`` — each member's *own* element count —
+  so gradients match the serial per-member ``mse_loss`` bit for bit;
+* gradient clipping and Adam run per member slice (elementwise ops on the
+  stacked arrays), with the optimiser's shared step counter in lockstep
+  with every still-active member's serial counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from . import functional as F
+from . import tape as nn_tape
+from .layers import Module, Parameter
+from .tensor import Tensor, _record, as_tensor, no_grad
+
+__all__ = [
+    "BatchedConvSeriesAE",
+    "bconv1d",
+    "batched_mse_loss",
+    "batched_clip_grad_norm",
+    "batched_train_reconstruction",
+]
+
+
+def bconv1d(x, weight, bias, padding=0):
+    """Member-batched 1D convolution (stride 1).
+
+    Parameters
+    ----------
+    x: Tensor ``(M, C_in, L)`` — one sample per member.
+    weight: Tensor ``(M, C_out, C_in, K)`` — stacked member kernels.
+    bias: Tensor ``(M, C_out)``.
+    padding: symmetric zero padding on the length axis.
+
+    Slice ``m`` of the output reproduces ``conv1d(x[m:m+1], weight[m],
+    bias[m])`` bit for bit: the multi-channel path runs the same per-tap
+    GEMM accumulation in the same tap order (batched matmul computes each
+    member slice exactly like the serial 2D GEMM), and the single-channel
+    path runs the serial im2col einsum per member slice.
+    """
+    x = F.pad1d(as_tensor(x), padding)
+    weight = as_tensor(weight)
+    bias = as_tensor(bias)
+    m, c_in, length = x.shape
+    m_w, c_out, c_in_w, k = weight.shape
+    if m != m_w or c_in != c_in_w:
+        raise ValueError(
+            "batched shape mismatch: x %s vs weight %s"
+            % ((m, c_in, length), weight.shape)
+        )
+    if length < k:
+        raise ValueError("input length %d shorter than kernel %d" % (length, k))
+    l_out = length - k + 1
+    scratch = [None]
+
+    def forward(out=None):
+        if out is None:
+            out = np.empty((m, c_out, l_out))
+        if c_in == 1:
+            # Serial conv1d takes the im2col einsum for single-channel
+            # inputs; run it per member slice so the bits match.
+            cols = sliding_window_view(x.data, k, axis=2)
+            for i in range(m):
+                np.einsum(  # repro: lint-ok[einsum-order] training-only batched kernel; per-member slice of the serial eager einsum, never under stable_kernels()
+                    "nclk,fck->nfl", cols[i : i + 1], weight.data[i],
+                    optimize=True, out=out[i : i + 1])
+        else:
+            np.matmul(weight.data[:, :, :, 0], x.data[:, :, 0:l_out], out=out)
+            tmp = scratch[0]
+            if k > 1 and (tmp is None or tmp.shape != out.shape):
+                tmp = scratch[0] = np.empty_like(out)
+            for tap in range(1, k):
+                np.matmul(weight.data[:, :, :, tap],
+                          x.data[:, :, tap : tap + l_out], out=tmp)
+                np.add(out, tmp, out=out)
+        out += bias.data[:, :, None]
+        return out
+
+    gx_buf = [None]
+    gtmp_buf = [None]
+
+    def backward(grad):
+        # grad: (M, C_out, L_out)
+        if weight.requires_grad:
+            gw = np.empty_like(weight.data)
+            for tap in range(k):
+                xt = x.data[:, :, tap : tap + l_out]
+                # Slice m: grad[m] @ xt[m].T — the serial n==1 branch.
+                np.matmul(grad, xt.transpose(0, 2, 1), out=gw[:, :, :, tap])
+            weight._accumulate_owned(gw)
+        if bias.requires_grad:
+            # Slice m equals the serial grad.sum(axis=(0, 2)) over (1, F, L).
+            bias._accumulate(grad.sum(axis=2))
+        if x.requires_grad:
+            gx = gx_buf[0]
+            if gx is None or gx.shape != x.data.shape:
+                gx = gx_buf[0] = np.zeros_like(x.data)
+            else:
+                gx.fill(0.0)
+            tmp = gtmp_buf[0]
+            if tmp is None or tmp.shape != (m, c_in, l_out):
+                tmp = gtmp_buf[0] = np.empty((m, c_in, l_out))
+            for tap in range(k):
+                np.matmul(weight.data[:, :, :, tap].transpose(0, 2, 1), grad,
+                          out=tmp)
+                target = gx[:, :, tap : tap + l_out]
+                np.add(target, tmp, out=target)
+            x._accumulate_owned(gx)
+
+    out = Tensor._make(forward(), (x, weight, bias), backward)
+    _record(out, forward)
+    return out
+
+
+class BatchedConvSeriesAE(Module):
+    """M identical-shape :class:`~repro.core.autoencoders.ConvSeriesAE`
+    members stacked into one leading-axis-batched module.
+
+    Construction copies every member's parameters into stacked ``(M, ...)``
+    Parameters; the forward mirrors ``ConvSeriesAE.forward`` with
+    :func:`bconv1d` in place of the per-member convs (pooling, upsampling
+    and activations are per-sample ops, so the stacked batch axis rides
+    their existing batch axis unchanged).
+    """
+
+    # Pure structured primitives with shape-only branching — a recorded
+    # batched training tape replays the whole group faithfully.
+    tape_safe = True
+
+    def __init__(self, models):
+        super().__init__()
+        if len(models) < 2:
+            raise ValueError("need at least two members to batch")
+        stacks = []
+        for position in zip(*(model.named_parameters() for model in models)):
+            names = {name for name, __ in position}
+            if len(names) != 1:
+                raise ValueError("member parameter orders diverge: %s" % names)
+            stacks.append(Parameter(np.stack([p.data for __, p in position])))
+        # Registered parameter list, in member named_parameters order (the
+        # list registers each Parameter item; the structural pair lists
+        # below hold tuples, which parameter registration skips).
+        self.params = stacks
+        pairs = [(stacks[2 * j], stacks[2 * j + 1])
+                 for j in range(len(stacks) // 2)]
+        num_layers = (len(pairs) - 1) // 2
+        self._enc = pairs[:num_layers]
+        self._dec = pairs[num_layers : 2 * num_layers]
+        self._head = [pairs[2 * num_layers]]
+        self.n_members = len(models)
+        kernel_size = int(stacks[0].shape[3])
+        self.padding = kernel_size // 2
+
+    def forward(self, x):
+        # Mirrors ConvSeriesAE.forward with the member axis riding the
+        # batch axis of the pooling/upsampling/activation primitives.
+        length = x.shape[2]
+        h = x
+        for w, b in self._enc:
+            h = bconv1d(h, w, b, padding=self.padding).relu()
+        h = F.max_pool1d(h, 2)
+        h = F.upsample1d(h, 2, size=length)
+        for w, b in self._dec:
+            h = bconv1d(h, w, b, padding=self.padding).relu()
+        w, b = self._head[0]
+        return bconv1d(h, w, b, padding=self.padding)
+
+    def snapshot_member(self, index):
+        """Copies of member ``index``'s parameter slices, in the member's
+        ``named_parameters`` order (used to freeze a converged member while
+        the rest of the group keeps training its slice as dead weight)."""
+        return [p.data[index].copy() for p in self.params]
+
+
+def batched_mse_loss(prediction, target):
+    """Sum over members of each member's own ``mse_loss``.
+
+    The per-element gradient is ``2 * diff / (D * C)`` — each member's own
+    element count, exactly the serial ``mse_loss`` scaling — and the
+    per-member reduction sums the same contiguous ``(D, C)`` block the
+    serial loss sums, so both values and gradients match bit for bit.
+    """
+    diff = prediction - Tensor(target)
+    sq = diff * diff
+    per_member = sq.sum(axis=(1, 2))
+    numel = float(target.shape[1] * target.shape[2])
+    return (per_member * (1.0 / numel)).sum()
+
+
+def batched_clip_grad_norm(parameters, max_norm, n_members):
+    """Per-member-slice gradient clipping matching serial ``clip_grad_norm``.
+
+    Each member's norm accumulates ``np.dot`` products over its parameter
+    slices in the same parameter order (and the same contiguous memory
+    order) as the serial clip, and only clipped members are rescaled —
+    unclipped slices are multiplied by exactly 1.0, a bitwise identity.
+    Returns the per-member pre-clip norms.
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    totals = np.zeros(n_members)
+    for p in parameters:
+        rows = p.grad.reshape(n_members, -1)
+        for i in range(n_members):
+            row = rows[i]
+            totals[i] += np.dot(row, row)
+    norms = np.sqrt(totals)
+    clipped = (norms > max_norm) if max_norm > 0 else np.zeros(n_members, bool)
+    if clipped.any():
+        scales = np.ones(n_members)
+        scales[clipped] = max_norm / (norms[clipped] + 1e-12)
+        for p in parameters:
+            p.grad *= scales.reshape((n_members,) + (1,) * (p.grad.ndim - 1))
+    return norms
+
+
+def batched_train_reconstruction(model, optimizer, inputs, epochs, n_members):
+    """Full-batch reconstruction training of a stacked member group.
+
+    The batched counterpart of
+    :func:`repro.core.autoencoders.train_reconstruction`: minimises each
+    member's own reconstruction loss for ``epochs`` Adam steps and returns
+    the final stacked reconstruction ``(M, D, C)`` as a plain array.  The
+    first step records a tape of the whole batched program; later epochs —
+    and later calls from the ensemble's ADMM iterations — replay it.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    epochs = max(int(epochs), 1)
+
+    def loss_fn(x):
+        prediction = model(x)
+        return batched_mse_loss(prediction, x.data), prediction
+
+    done = 0
+    tape = nn_tape.training_tape(model, inputs, None, loss_fn=loss_fn)
+    if tape is not None:
+        for __ in range(epochs):
+            optimizer.zero_grad()
+            tape.step(inputs, None)
+            batched_clip_grad_norm(model.params, 5.0, n_members)
+            optimizer.step()
+            done += 1
+            if tape.failed:
+                break
+        if not tape.failed:
+            return np.array(tape.forward(inputs))
+    output = None
+    for __ in range(epochs - done):
+        optimizer.zero_grad()
+        loss, __prediction = loss_fn(Tensor(inputs))
+        loss.backward()
+        batched_clip_grad_norm(model.params, 5.0, n_members)
+        optimizer.step()
+    with no_grad():
+        output = model(Tensor(inputs)).data
+    return output

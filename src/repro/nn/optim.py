@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .tensor import _record_call
+
 __all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
 
 
@@ -24,8 +26,13 @@ def clip_grad_norm(parameters, max_norm):
     temporaries, and scaling multiplies each gradient array in place rather
     than rebinding a fresh one (the training tape and fused Adam rely on
     gradient buffers keeping their identity).
+
+    When called inside a tape recording the clip registers itself as a
+    replayable call, so losses that clip internally replay it in order;
+    the usual callers clip *outside* the recorded region and record nothing.
     """
     parameters = [p for p in parameters if p.grad is not None]
+    _record_call(lambda: clip_grad_norm(parameters, max_norm))
     total = 0.0
     for p in parameters:
         flat = p.grad.reshape(-1)
@@ -51,6 +58,10 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
 
     def zero_grad(self):
+        # Recorded when a tape is active (see tensor._record_call): an
+        # optimiser owned by the loss itself must clear its gradients at
+        # the same point of every replayed epoch.
+        _record_call(self.zero_grad)
         for p in self.parameters:
             p.zero_grad()
 
@@ -69,6 +80,7 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self):
+        _record_call(self.step)
         for p, v in zip(self.parameters, self._velocity):
             if p.grad is None:
                 continue
@@ -99,6 +111,7 @@ class Adam(Optimizer):
         self._t2 = [np.empty_like(p.data) for p in self.parameters]
 
     def step(self):
+        _record_call(self.step)
         self._step += 1
         b1, b2 = self.beta1, self.beta2
         bias1 = 1.0 - b1**self._step

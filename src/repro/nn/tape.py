@@ -19,9 +19,20 @@ that later epochs replay:
   node keeps a persistent gradient buffer that replays accumulate into
   (``np.copyto``/``+=`` instead of ``copy()``/``+``).
 
-The tape refuses (``failed``) whenever an op bakes run-time data into the
-recorded graph (softmax, active dropout — see ``_poison_tape``), and
-:func:`training_tape` declines to tape at all under ``no_grad``, under
+Tape v2 extends the recorded stream beyond pure ops: stochastic primitives
+(dropout masks, reparameterisation noise) draw into closure-persistent
+buffers *inside* their recorded closures, so replays redraw from the
+module's own generator in eager draw order instead of replaying stale
+constants; softmax recomputes its max shift per replay; and recordings may
+contain whole optimisation sub-steps — ``zero_grad``/``step``/inner
+``backward`` calls (the discriminator update of an adversarial loss) are
+captured as call/backward events interleaved with the ops and replayed at
+their recorded positions.  That unlocks compiled fits for the
+recurrent/attention/VAE/GAN baselines that PR 5 had to decline.
+
+The tape still refuses (``failed``) whenever an op bakes run-time data into
+the recorded graph (see ``_poison_tape``), and :func:`training_tape`
+declines to tape at all under ``no_grad``, under
 :func:`repro.nn.functional.stable_kernels`, or for modules that are not
 structurally replayable (:func:`module_tape_safe`).  Everything declined
 falls back to eager execution, which remains the reference semantics.
@@ -34,8 +45,14 @@ import os
 import numpy as np
 
 from . import layers
+from .attention import (
+    MultiHeadAttention,
+    PositionalEncoding,
+    TransformerEncoderLayer,
+)
 from .functional import stable_kernels_active
 from .losses import mse_loss
+from .recurrent import LSTM, LSTMCell
 from .tensor import Tensor, _push_tape, _topo_order, is_grad_enabled
 
 __all__ = [
@@ -71,6 +88,18 @@ _SAFE_LEAF_TYPES = frozenset((
     layers.LeakyReLU,
     layers.Identity,
     layers.LayerNorm,
+    # Dropout draws its mask through the tape's buffer protocol (see
+    # functional.dropout), so active dropout replays faithfully now.
+    layers.Dropout,
+    # The recurrent/attention stacks lower onto pure primitives: LSTM
+    # unrolls with fresh zero-state constants per shape, attention's
+    # softmax is a recorded primitive, and positional encodings add a
+    # construction-time constant table.
+    LSTM,
+    LSTMCell,
+    MultiHeadAttention,
+    PositionalEncoding,
+    TransformerEncoderLayer,
 ))
 
 
@@ -89,15 +118,14 @@ def module_tape_safe(module):
 
     True for the structured primitives of :mod:`repro.nn.layers` (their
     forwards are pure traced ops whose only data-independent branching is on
-    shapes, which key the tape cache), for :class:`Sequential` chains of
-    safe children, and for composite modules that declare ``tape_safe =
-    True`` *and* contain only safe children.  Dropout is safe only when
-    inactive — an active mask is resampled per call, which a replay cannot
-    reproduce.  Everything else (recurrent/attention baselines, unknown
-    user modules) answers False and trains eagerly.
+    shapes, which key the tape cache), for the recurrent/attention stacks,
+    for :class:`Sequential` chains of safe children, and for composite
+    modules that declare ``tape_safe = True`` *and* contain only safe
+    children.  Active dropout is safe too: its mask is drawn through the
+    tape's persistent-buffer protocol, so replays redraw from the module's
+    generator exactly like eager epochs.  Everything else (unknown user
+    modules) answers False and trains eagerly.
     """
-    if isinstance(module, layers.Dropout):
-        return module.p <= 0.0 or not module.training
     if type(module) is layers.Sequential:
         return all(module_tape_safe(child) for child in module)
     if type(module) in _SAFE_LEAF_TYPES:
@@ -122,38 +150,86 @@ def set_tape_enabled(flag):
     return previous
 
 
+class _BackwardEvent:
+    """A ``Tensor.backward`` call captured inside a recording.
+
+    The inner optimisation step of an adversarial loss (BeatGAN's
+    discriminator update) runs a full backward mid-forward.  Replay seeds
+    the recorded root with the recorded seed gradient and re-runs the
+    cached reversed topo — after clearing the *non-leaf* gradients of the
+    sub-graph.  Leaves (parameters) keep accumulating across events: their
+    lifecycle is governed by the recorded ``zero_grad`` calls, exactly as
+    in the eager loop.
+    """
+
+    __slots__ = ("root", "seed", "reversed_topo", "resettable")
+
+    def __init__(self, root, seed, topo):
+        self.root = root
+        self.seed = np.array(seed, dtype=np.float64)
+        self.reversed_topo = list(reversed(topo))
+        # _make only installs _backward on nodes that require grad and have
+        # parents; leaves keep None, which is the non-leaf criterion.
+        self.resettable = [n for n in topo if n._backward is not None]
+
+    def replay(self):
+        for node in self.resettable:
+            node.grad = None
+        self.root._accumulate(self.seed)
+        for node in self.reversed_topo:
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
 class TrainStepTape:
     """One recorded forward+loss+backward, replayable with fresh data.
 
     The first :meth:`step` call *is* a normal eager training step — it runs
-    the model's forward and ``mse_loss`` under a recording context and then
-    the standard backward, so recording never changes results.  Later
+    the model's forward and the loss under a recording context and then the
+    standard backward, so recording never changes results.  Later
     :meth:`step` calls refresh the input/target buffers and replay the
-    captured closures.  The caller owns ``zero_grad``/clip/optimizer.step,
-    exactly as in the eager loop.
+    captured entry stream: op closures, side-effect calls (inner
+    ``zero_grad``/``step``/clip) and backward events, in recorded order.
+    The caller owns the *outer* ``zero_grad``/clip/optimizer.step, exactly
+    as in the eager loop.
+
+    ``loss_fn``, when given, replaces the default ``model(x)`` +
+    ``mse_loss(prediction, target)`` program: it receives the tape's input
+    Tensor and returns either the loss Tensor or a ``(loss, prediction)``
+    pair.
     """
 
-    def __init__(self, model):
+    def __init__(self, model, loss_fn=None):
         self.model = model
+        self.loss_fn = loss_fn
         self.recorded = False
         self.failed = None  # reason string once poisoned
         self.replays = 0
         self.x = None
         self.target = None
-        self._nodes = []
+        self._nodes = []      # op outputs in record order (forward-only replay)
         self._forwards = []
+        self._entries = []    # full stream: ("op",...)/("call",...)/("bwd",...)
         self._topo = None
+        self._resettable = None
         self._reversed_topo = None
         self._loss = None
         self._prediction = None
         self._seed_grad = None
 
     # ------------------------------------------------------------------ #
-    # recorder callbacks (invoked from repro.nn.tensor._record)
+    # recorder callbacks (invoked from repro.nn.tensor)
     # ------------------------------------------------------------------ #
     def _add(self, tensor, forward):
         self._nodes.append(tensor)
         self._forwards.append(forward)
+        self._entries.append(("op", tensor, forward))
+
+    def _add_call(self, fn):
+        self._entries.append(("call", fn, None))
+
+    def _add_backward(self, root, seed, topo):
+        self._entries.append(("bwd", _BackwardEvent(root, seed, topo), None))
 
     def _poison(self, reason):
         self.failed = reason
@@ -171,20 +247,30 @@ class TrainStepTape:
 
     def _record_step(self, inputs, target):
         self.x = Tensor(np.array(inputs, dtype=np.float64))
-        if target is inputs:
+        if self.loss_fn is not None:
+            self.target = None
+        elif target is inputs:
             self.target = self.x.data
         else:
             self.target = np.array(target, dtype=np.float64)
         previous = _push_tape(self)
         try:
-            prediction = self.model(self.x)
-            loss = mse_loss(prediction, self.target)
+            if self.loss_fn is not None:
+                result = self.loss_fn(self.x)
+                if isinstance(result, tuple):
+                    loss, prediction = result
+                else:
+                    loss, prediction = result, None
+            else:
+                prediction = self.model(self.x)
+                loss = mse_loss(prediction, self.target)
         finally:
             _push_tape(previous)
         self._prediction, self._loss = prediction, loss
         # The recording step is epoch one: run the eager backward, but
         # through the shared topo helper so the order we cache is the order
-        # we just executed.
+        # we just executed.  (This outer backward runs after the tape is
+        # popped, so it is not itself captured as a backward event.)
         topo = _topo_order(loss)
         self._seed_grad = np.ones_like(loss.data)
         loss._accumulate(self._seed_grad)
@@ -193,34 +279,59 @@ class TrainStepTape:
                 node._backward(node.grad)
         self._topo = topo
         self._reversed_topo = list(reversed(topo))
+        self._resettable = [n for n in topo if n._backward is not None]
         # Hand each node its final gradient array as the persistent
         # accumulation buffer for replays.  Nodes whose gradient was adopted
         # from a backward closure (``_accumulate_owned``) are skipped: the
-        # array belongs to the closure, not the node.
-        for node in topo:
+        # array belongs to the closure, not the node.  Event sub-graphs
+        # (the inner backward of an adversarial loss) get buffers too —
+        # shared leaves are visited once thanks to the buf-is-None guard.
+        self._install_grad_buffers(topo)
+        for kind, payload, __ in self._entries:
+            if kind == "bwd":
+                self._install_grad_buffers(payload.reversed_topo)
+        self.recorded = True
+        return None if prediction is None else prediction.data
+
+    def _install_grad_buffers(self, nodes):
+        for node in nodes:
             if (node.grad is not None and node._grad_buf is None
                     and not node._grad_owned):
                 node._grad_buf = node.grad
-        self.recorded = True
-        return prediction.data
 
     def _replay_step(self, inputs, target):
-        self._replay_forward(inputs, target)
-        for node in self._topo:
+        self._refresh_inputs(inputs, target)
+        for kind, payload, forward in self._entries:
+            if kind == "op":
+                payload.data = forward(payload.data)
+            elif kind == "call":
+                payload()
+            else:
+                payload.replay()
+        # Reset only non-leaf gradients: parameter grads are governed by
+        # the caller's zero_grad (outer params) or by recorded zero_grad
+        # calls (an inner optimiser's params, which must keep their
+        # event-accumulated gradients for the outer backward to add to,
+        # exactly as eager execution would).
+        for node in self._resettable:
             node.grad = None
         self._loss._accumulate(self._seed_grad)
         for node in self._reversed_topo:
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
         self.replays += 1
-        return self._prediction.data
+        return None if self._prediction is None else self._prediction.data
 
-    def _replay_forward(self, inputs, target):
+    def _refresh_inputs(self, inputs, target):
         xbuf = self.x.data
         if inputs is not xbuf:
             np.copyto(xbuf, np.asarray(inputs, dtype=np.float64))
-        if self.target is not xbuf and target is not None and target is not inputs:
+        if (self.target is not None and self.target is not xbuf
+                and target is not None and target is not inputs):
             np.copyto(self.target, np.asarray(target, dtype=np.float64))
+
+    def _replay_forward(self, inputs, target):
+        self._refresh_inputs(inputs, target)
         nodes = self._nodes
         forwards = self._forwards
         for i in range(len(nodes)):
@@ -230,7 +341,8 @@ class TrainStepTape:
     def forward(self, inputs, target=None):
         """Replay only the forward pass (the post-training evaluation
         forward of ``train_reconstruction``) and return the prediction
-        buffer."""
+        buffer.  Ops only: recorded calls and backward events are skipped,
+        so no parameter is touched."""
         self._replay_forward(inputs, target)
         return self._prediction.data
 
@@ -247,31 +359,39 @@ class TrainStepTape:
         return "TrainStepTape(ops=%d, %s)" % (len(self._nodes), state)
 
 
-def training_tape(model, inputs, target):
+def training_tape(model, inputs, target, loss_fn=None, modules=None):
     """The model's :class:`TrainStepTape` for this (shape, mode), or None.
 
     None means "train eagerly": tape compilation disabled, grad disabled,
     stable kernels active (serving arithmetic must never leak into a
     recorded fit), the model is not structurally replayable, or a previous
     recording for this key was poisoned.
+
+    ``loss_fn`` is forwarded to the tape (see :class:`TrainStepTape`).
+    ``modules``, when given, is the full list of modules the recorded
+    program touches — losses that involve more than the model itself (an
+    adversarial loss also runs its discriminator) list them all so the
+    safety verdict covers every recorded forward.
     """
     if not _ENABLED[0] or not is_grad_enabled() or stable_kernels_active():
         return None
     state = model.__dict__
     safe = state.get("_tape_safe")
     if safe is None:
-        safe = state["_tape_safe"] = module_tape_safe(model)
+        checked = (model,) if modules is None else tuple(modules)
+        safe = state["_tape_safe"] = all(module_tape_safe(m) for m in checked)
     if not safe:
         return None
     cache = state.get("_tape_cache")
     if cache is None:
         cache = state["_tape_cache"] = {}
-    key = (np.shape(inputs), None if target is inputs else np.shape(target))
+    key = (np.shape(inputs),
+           None if (target is inputs or target is None) else np.shape(target))
     tape = cache.get(key)
     if tape is None:
         if len(cache) >= _MAX_TAPES_PER_MODEL:
             cache.pop(next(iter(cache)))
-        tape = cache[key] = TrainStepTape(model)
+        tape = cache[key] = TrainStepTape(model, loss_fn=loss_fn)
     if tape.failed:
         return None
     return tape

@@ -82,6 +82,20 @@ def _record(out, forward):
         tape._add(out, forward)
 
 
+def _record_call(fn):
+    """Register a replayable side-effect call with the recording tape.
+
+    Optimizer steps, ``zero_grad`` and gradient clipping announce themselves
+    through this hook so a recording that *contains* an optimisation step
+    (e.g. the discriminator update inside BeatGAN's loss) replays it at the
+    recorded position.  No tape is ever installed during replay, so the
+    replayed call's own ``_record_call`` is a no-op — no recursion.
+    """
+    tape = getattr(_TAPE_STATE, "tape", None)
+    if tape is not None:
+        tape._add_call(fn)
+
+
 def _poison_tape(reason):
     """Mark an in-progress recording as not replayable.
 
@@ -277,6 +291,12 @@ class Tensor:
                 raise ValueError("grad must be supplied for non-scalar tensors")
             grad = np.ones_like(self.data)
         topo = _topo_order(self)
+        tape = getattr(_TAPE_STATE, "tape", None)
+        if tape is not None:
+            # A backward executed inside a recording (the inner
+            # discriminator step of an adversarial loss): capture it as a
+            # replayable event before running it eagerly.
+            tape._add_backward(self, grad, topo)
         self._accumulate(grad)
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:

@@ -1,39 +1,45 @@
 """Fixture for the tape-poison rule; linted, never imported."""
 
-from somewhere import dropout, relu, softmax  # noqa: F401 - fixture only
+from somewhere import Tensor, as_tensor, sampled_normal, softmax  # noqa: F401 - fixture only
 
 
-class PledgesButPoisons:
+class PledgesButBakesDraws:
     tape_safe = True
 
     def forward(self, x):
-        return softmax(x)  # FIRES
+        noise = Tensor(self.rng.standard_normal(x.shape))  # FIRES
+        return x + noise
 
-    def regularise(self, x):
-        return dropout(x, 0.5)  # FIRES
+    def corrupt(self, x):
+        mask = as_tensor(self._rng.random(x.shape) > 0.5)  # FIRES
+        return x * mask
 
 
 class HonestEager:
     tape_safe = False
 
     def forward(self, x):
-        return softmax(x)
+        return Tensor(self.rng.standard_normal(x.shape))
 
 
 class NoPledge:
     def forward(self, x):
-        return dropout(x, 0.1)
+        return as_tensor(self.rng.random(x.shape))
 
 
 class PledgesAndKeepsIt:
     tape_safe = True
 
     def forward(self, x):
-        return relu(x)
+        # Draws through the buffer protocol re-sample on every replay,
+        # and plain deterministic primitives (softmax records through its
+        # fixed-order closure since tape v2) are fine.
+        noise = sampled_normal(x.shape, self.rng)
+        return softmax(x) + noise
 
 
 class WavedThrough:
     tape_safe = True
 
     def forward(self, x):
-        return softmax(x)  # repro: lint-ok[tape-poison] fixture: exercising suppression
+        return Tensor(self.rng.normal(size=x.shape))  # repro: lint-ok[tape-poison] fixture: exercising suppression

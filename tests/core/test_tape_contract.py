@@ -4,7 +4,10 @@ The tape-compiled training path (repro.nn.tape) promises bit-identical
 fits: for any fixed seed, scores, decomposition, and convergence trace must
 match the eager reference exactly — for every RAE/RDAE registry method and
 every ablation variant.  The ensemble's threaded fit makes the same promise
-against its serial path.
+against its serial path, and (tape v2) so do the stochastic neural
+baselines — softmax/dropout/reparameterisation draws now record through
+the tape's buffer protocol instead of declining — and the ensemble's
+``compile="batched"`` replay against its serial member fits.
 """
 
 import numpy as np
@@ -147,3 +150,121 @@ def test_ensemble_member_failure_propagates():
     with pytest.raises(ValueError):
         RobustEnsemble(base="rae", n_members=2, n_jobs=2,
                        max_iterations=1).fit(np.zeros((2, 2, 2)))
+
+
+# --------------------------------------------------------------------- #
+# Tape v2: stochastic neural baselines record and replay
+# --------------------------------------------------------------------- #
+
+# The PR 5 tape declined these four: softmax (TAE's attention, BeatGAN's
+# discriminator head), dropout (TAE), and reparameterisation noise (Donut)
+# baked record-time data into the recorded graph.  Tape v2's buffered
+# primitives redraw per replayed epoch, so their fits must now record,
+# replay, and stay bit-identical to eager.
+NEURAL_CASES = {
+    "RNNAE": {"window": 16, "epochs": 2, "batch_size": 16},
+    "TAE": {"window": 16, "epochs": 2, "batch_size": 16},
+    "BGAN": {"window": 16, "epochs": 2, "batch_size": 16},
+    "DONUT": {"window": 16, "epochs": 2, "batch_size": 16, "mc_samples": 2},
+}
+
+
+@pytest.mark.parametrize("name", sorted(NEURAL_CASES))
+def test_neural_baseline_tape_bit_equal_and_replays(name, monkeypatch):
+    replays = []
+    original = nntape.TrainStepTape._replay_step
+
+    def counting(self, inputs, target):
+        replays.append(1)
+        return original(self, inputs, target)
+
+    monkeypatch.setattr(nntape.TrainStepTape, "_replay_step", counting)
+    series = small_series(length=120)
+    make = lambda: make_detector(name, seed=3, **NEURAL_CASES[name])
+    taped = fit_with_tape(make, series, True)
+    taped_replays = len(replays)
+    eager = fit_with_tape(make, series, False)
+    # The fit really recorded and replayed (not a silent eager fallback,
+    # which would make the equality below vacuous) ...
+    assert taped_replays > 0
+    assert len(replays) == taped_replays  # ... and eager never replays.
+    assert np.array_equal(taped.score(series), eager.score(series))
+    assert np.array_equal(taped.loss_history_, eager.loss_history_)
+
+
+# --------------------------------------------------------------------- #
+# Batched ensemble replay (compile="batched")
+# --------------------------------------------------------------------- #
+
+def fit_ensemble(series, compile=None, **kwargs):
+    return fit_with_tape(
+        lambda: RobustEnsemble(compile=compile, **kwargs), series, True
+    )
+
+
+def assert_identical_ensembles(a, b, series):
+    assert np.array_equal(a.score(series), b.score(series))
+    assert np.array_equal(a.clean_series, b.clean_series)
+    for ma, mb in zip(a.members_, b.members_):
+        assert ma.seed == mb.seed
+        assert_identical_fit(ma, mb, series)
+
+
+def test_ensemble_batched_matches_serial_bit_for_bit():
+    series = small_series(length=150)
+    kwargs = dict(base="rae", n_members=4, jitter=False, kernels=8,
+                  max_iterations=3, seed=9)
+    serial = fit_ensemble(series, **kwargs)
+    batched = fit_ensemble(series, compile="batched", **kwargs)
+    assert batched.compile_fallback_ == []  # the whole group batched
+    assert_identical_ensembles(serial, batched, series)
+
+
+def test_ensemble_batched_freezes_converged_members_exactly():
+    """Members of one batched group converge at different iterations (and
+    some never); each converged member's parameters freeze at its own
+    convergence point exactly as its serial fit would have stopped."""
+    series = small_series(length=150)
+    kwargs = dict(base="rae", n_members=4, jitter=False, kernels=8,
+                  max_iterations=8, epsilon=0.003, seed=0)
+    serial = fit_ensemble(series, **kwargs)
+    batched = fit_ensemble(series, compile="batched", **kwargs)
+    iterations = [len(m.trace_.rmse) for m in batched.members_]
+    converged = [m.trace_.converged for m in batched.members_]
+    assert len(set(iterations)) > 1  # the freezing path really ran
+    assert any(converged) and not all(converged)
+    assert_identical_ensembles(serial, batched, series)
+
+
+def test_ensemble_batched_jitter_groups_and_singletons():
+    """With jittered architectures only identical-spec members batch;
+    spec-singletons fall back to the serial fit with a recorded reason —
+    and the combined result is still bit-identical to the serial ensemble."""
+    series = small_series(length=150)
+    kwargs = dict(base="rae", n_members=6, jitter=True,
+                  max_iterations=2, seed=3)
+    serial = fit_ensemble(series, **kwargs)
+    batched = fit_ensemble(series, compile="batched", **kwargs)
+    # Some members batched, some fell back (else this test proves nothing
+    # about the mixed path).
+    assert 0 < len(batched.compile_fallback_) < batched.n_members
+    for reason in batched.compile_fallback_:
+        assert "peer" in reason
+    assert_identical_ensembles(serial, batched, series)
+
+
+def test_ensemble_batched_rdae_falls_back_serial():
+    series = small_series(length=150)
+    kwargs = dict(base="rdae", n_members=2, window=20, max_outer=1,
+                  inner_iterations=2, series_iterations=2, seed=5)
+    serial = fit_ensemble(series, **kwargs)
+    batched = fit_ensemble(series, compile="batched", **kwargs)
+    assert len(batched.compile_fallback_) == 2
+    for reason in batched.compile_fallback_:
+        assert "no batched program" in reason
+    assert_identical_ensembles(serial, batched, series)
+
+
+def test_ensemble_compile_argument_is_validated():
+    with pytest.raises(ValueError, match="compile"):
+        RobustEnsemble(compile="jit")

@@ -126,12 +126,13 @@ def test_no_tape_when_disabled(tape_on):
 def test_module_tape_safety_rules():
     safe = nn.Sequential(nn.Linear(4, 4), nn.ReLU(), nn.LayerNorm(4))
     assert nntape.module_tape_safe(safe)
-    # Active dropout resamples its mask per call: not replayable.
+    # Active dropout draws its mask through the tape's persistent-buffer
+    # protocol now (tape v2): replayable in train and eval mode alike.
     dropped = nn.Sequential(nn.Linear(4, 4), nn.Dropout(0.5))
-    assert not nntape.module_tape_safe(dropped)
+    assert nntape.module_tape_safe(dropped)
     assert nntape.module_tape_safe(dropped.eval())
-    # Inactive dropout (p=0) is a no-op and safe.
-    assert nntape.module_tape_safe(nn.Sequential(nn.Dropout(0.0)).train())
+    # Recurrent stacks lower onto pure primitives: safe leaves.
+    assert nntape.module_tape_safe(nn.LSTM(4, 4))
 
     # A subclass may override forward arbitrarily — never auto-safe.
     class Custom(nn.Linear):
@@ -139,30 +140,43 @@ def test_module_tape_safety_rules():
             return super().forward(x)
 
     assert not nntape.module_tape_safe(Custom(4, 4))
+
     # Unknown modules are unsafe unless they opt in via tape_safe.
-    assert not nntape.module_tape_safe(nn.LSTM(4, 4))
+    class Opaque(nn.Module):
+        def forward(self, x):  # pragma: no cover - structure-only test
+            return x
+
+    assert not nntape.module_tape_safe(Opaque())
     assert nntape.module_tape_safe(ConvSeriesAE(1))
 
 
 def test_unsupported_model_falls_back_to_eager(tape_on):
-    """An active-dropout model trains through the eager path and still
-    learns (no tape is recorded, nothing breaks)."""
+    """A model containing an unknown child module trains through the eager
+    path and still learns (no tape is recorded, nothing breaks)."""
 
-    class Dropped(nn.Module):
+    class Opaque(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.lin = nn.Linear(8, 8, rng=np.random.default_rng(0))
+
+        def forward(self, x):
+            return self.lin(x)
+
+    class Wrapped(nn.Module):
         tape_safe = True  # claims safety, but contains an unsafe child
 
         def __init__(self):
             super().__init__()
             self.net = nn.Sequential(
                 nn.Linear(8, 8),
-                nn.Dropout(0.4, rng=np.random.default_rng(0)),
+                Opaque(),
                 nn.Linear(8, 8),
             )
 
         def forward(self, x):
             return self.net(x)
 
-    model = Dropped()
+    model = Wrapped()
     optimizer = nn.Adam(model.parameters(), lr=1e-2)
     x = np.random.default_rng(1).standard_normal((16, 8))
     first = train_reconstruction(model, optimizer, x, epochs=1)
@@ -171,12 +185,54 @@ def test_unsupported_model_falls_back_to_eager(tape_on):
     assert np.mean((last - x) ** 2) < np.mean((first - x) ** 2)
 
 
-def test_softmax_poisons_a_recording(tape_on):
-    """A tape_safe-claiming module whose forward routes through softmax is
-    caught at record time: the tape is poisoned, training falls back to
-    eager, and results match a pure-eager run exactly."""
+def test_stochastic_primitives_record_and_replay(tape_on):
+    """Softmax, dropout, and reparameterisation noise — PR 5's poisoners —
+    now record through the tape's buffer protocol: replayed training is
+    bit-identical to eager, with fresh draws per replayed epoch."""
 
-    class Soft(nn.Module):
+    class Stochastic(nn.Module):
+        tape_safe = True
+
+        def __init__(self):
+            super().__init__()
+            self.lin = nn.Linear(6, 6, rng=np.random.default_rng(0))
+            self.drop = nn.Dropout(0.4, rng=np.random.default_rng(7))
+            self._noise_rng = np.random.default_rng(11)
+
+        def forward(self, x):
+            h = nn.functional.softmax(self.lin(x), axis=-1)
+            h = self.drop(h)
+            noise = nn.functional.sampled_normal(h.shape, self._noise_rng)
+            return h + noise * 0.01
+
+    x = np.random.default_rng(1).standard_normal((4, 6))
+
+    def run(enabled):
+        previous = nntape.set_tape_enabled(enabled)
+        try:
+            model = Stochastic()
+            optimizer = nn.Adam(model.parameters(), lr=1e-2)
+            outs = [train_reconstruction(model, optimizer, x, epochs=3).copy()
+                    for __ in range(2)]
+            return outs, model
+        finally:
+            nntape.set_tape_enabled(previous)
+
+    taped, model = run(True)
+    eager, __ = run(False)
+    tape = next(iter(model.__dict__["_tape_cache"].values()))
+    assert tape.recorded and tape.replays > 0 and not tape.failed
+    for got, want in zip(taped, eager):
+        assert np.array_equal(got, want)
+
+
+def test_poisoned_recording_falls_back_to_eager(tape_on):
+    """An op that bakes run-time data into its recorded closure poisons the
+    recording (``_poison_tape``): the tape declines, training falls back to
+    eager, and results match a pure-eager run exactly."""
+    from repro.nn.tensor import _poison_tape
+
+    class SelfPoisoning(nn.Module):
         tape_safe = True
 
         def __init__(self):
@@ -184,14 +240,15 @@ def test_softmax_poisons_a_recording(tape_on):
             self.lin = nn.Linear(6, 6, rng=np.random.default_rng(0))
 
         def forward(self, x):
-            return nn.functional.softmax(self.lin(x), axis=-1)
+            _poison_tape("test: unreplayable op")
+            return self.lin(x)
 
     x = np.random.default_rng(1).standard_normal((4, 6))
 
     def run(enabled):
         previous = nntape.set_tape_enabled(enabled)
         try:
-            model = Soft()
+            model = SelfPoisoning()
             optimizer = nn.Adam(model.parameters(), lr=1e-2)
             outs = [train_reconstruction(model, optimizer, x, epochs=3).copy()
                     for __ in range(2)]
