@@ -3,13 +3,41 @@
 The paper reports testing runtimes under 0.1 s for all methods, "making
 them applicable to online outlier detection in streaming settings".  This
 benchmark measures the train-once / score-new path (``score_new``) of RAE
-and RDAE on an unseen series.
+and RDAE on an unseen series, plus the compiled batched-inference path:
+S same-spec sessions refreshed through one stacked program replay
+(:class:`repro.core.InferencePrograms`) vs S eager forwards, recorded to
+``bench-results/scoring_latency.json``.
 """
+
+import json
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro.eval import make_detector
+
+TINY = os.environ.get("REPRO_BENCH_TINY") == "1"
+
+RESULTS_DIR = os.environ.get("REPRO_BENCH_DIR", "bench-results")
+RESULTS_PATH = os.path.join(RESULTS_DIR, "scoring_latency.json")
+
+
+def _record_result(key, payload, skipped_reason=None):
+    """Merge one benchmark's raw numbers into the trajectory JSON."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    data = {}
+    if os.path.exists(RESULTS_PATH):
+        with open(RESULTS_PATH) as handle:
+            data = json.load(handle)
+    payload = dict(payload, tiny=TINY, cpu_count=os.cpu_count())
+    if skipped_reason is not None:
+        payload.pop("speedup", None)
+        payload["skipped_reason"] = skipped_reason
+    data[key] = payload
+    with open(RESULTS_PATH, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
 
 
 def make_series(seed, length=280):
@@ -38,3 +66,77 @@ def test_rdae_streaming_latency(benchmark):
     scores = benchmark(det.score_new, unseen)
     assert scores.shape == (len(unseen),)
     assert benchmark.stats.stats.mean < 0.1
+
+
+@pytest.mark.slow
+def test_batched_inference_beats_eager_session_refresh():
+    """Core-layer half of the ``compiled_drain`` serving benchmark: S
+    same-spec sessions refreshed via :func:`batched_session_scores` with a
+    compiled program cache vs without, no router around them.  Records the
+    per-refresh latencies and speedup; asserts >= 2x outside tiny mode.
+    Bit-equality between the two paths is asserted unconditionally.
+    """
+    from repro.core import InferencePrograms, batched_session_scores
+    from repro.core.scoring import ScoringSession
+
+    sessions_count = 4 if TINY else 8
+    window = 48 if TINY else 128
+    rounds = 5 if TINY else 40
+    chunk_rows = 8
+    detectors = [
+        make_detector("RAE", max_iterations=2 if TINY else 4, seed=i).fit(
+            make_series(i, length=300)
+        )
+        for i in range(sessions_count)
+    ]
+    histories = [make_series(10 + i, window) for i in range(sessions_count)]
+    live = [make_series(50 + i, rounds * chunk_rows)
+            for i in range(sessions_count)]
+
+    def refresh_loop(programs):
+        sessions = [
+            ScoringSession(det, window=window, programs=programs)
+            for det in detectors
+        ]
+        for session, history in zip(sessions, histories):
+            session.ingest(history)
+            session.scores()
+        tails, seconds = [], []
+        for round_ in range(rounds):
+            lo = round_ * chunk_rows
+            for session, feed in zip(sessions, live):
+                session.ingest(feed[lo:lo + chunk_rows])
+            started = time.perf_counter()
+            scored = batched_session_scores(
+                sessions, tail=[chunk_rows] * sessions_count,
+                programs=programs,
+            )
+            seconds.append(time.perf_counter() - started)
+            tails.append([s.copy() for s in scored])
+        return tails, seconds
+
+    eager_tails, eager_seconds = refresh_loop(None)
+    compiled_tails, compiled_seconds = refresh_loop(InferencePrograms())
+
+    for eager_round, compiled_round in zip(eager_tails, compiled_tails):
+        for a, b in zip(eager_round, compiled_round):
+            assert np.array_equal(a, b)
+
+    eager = float(np.median(eager_seconds))
+    compiled = float(np.median(compiled_seconds))
+    speedup = eager / max(compiled, 1e-12)
+    print("\nper-refresh latency over %d same-spec sessions (window=%d): "
+          "eager %.2f ms, compiled %.2f ms (%.1fx)"
+          % (sessions_count, window, 1e3 * eager, 1e3 * compiled, speedup))
+    reason = ("tiny mode: sizes too small for a meaningful ratio"
+              if TINY else None)
+    _record_result("batched_inference", {
+        "sessions": sessions_count, "window": window, "rounds": rounds,
+        "eager_ms": 1e3 * eager, "compiled_ms": 1e3 * compiled,
+        "speedup": speedup,
+    }, skipped_reason=reason)
+    if reason is not None:
+        pytest.skip(reason + " (equality asserted above)")
+    assert speedup >= 2.0, (
+        "batched inference only %.1fx faster than eager refresh" % speedup
+    )

@@ -126,14 +126,16 @@ def test_batched_drain_beats_sequential_push():
 
 
 def _independent_shard_fixture():
-    """8 shards, each with its OWN fitted detector, plus live arrivals.
+    """8 shards, each with its own *different-spec* detector, plus arrivals.
 
-    Independent detectors are the worst case for grouped forwards (nothing
-    batches across shards) and the best case for the threaded backend
-    (every shard group is parallel work).
+    Different architectures are the worst case for grouped forwards
+    (nothing batches or stacks across shards — distinct same-spec
+    detectors would now share one fingerprint group and a stacked compiled
+    forward, see ``compiled_drain``) and the best case for the threaded
+    backend (every shard group is parallel work).
     """
     detectors = [
-        RAE(max_iterations=2 if TINY else 4, kernels=16, num_layers=3,
+        RAE(max_iterations=2 if TINY else 4, kernels=12 + i, num_layers=3,
             seed=i).fit(make_series(i, 400))
         for i in range(SHARDS)
     ]
@@ -209,6 +211,68 @@ def _ratio_skip_reason(cores):
         return ("single-core host: backend parallelism has nothing to "
                 "overlap, ratio not meaningful")
     return None
+
+
+def test_compiled_drain_beats_eager_on_same_spec_shards():
+    """The compiled inference path's claim: >= 2x on same-spec shards.
+
+    8 streams, each holding its OWN fitted detector of one spec — the PR 9
+    eager path grouped drains by ``id(detector)`` and paid 8 separate
+    graph-building forwards per drain; the fingerprint re-key plus the
+    stacked-weight program replays the whole group as one compiled batched
+    forward.  The speedup is algorithmic (graph-build overhead and
+    per-forward dispatch vs one buffered replay), not parallelism, so no
+    multi-core skip: only tiny mode skips the ratio.  Scores must be
+    bit-identical to the eager drain.
+    """
+    from repro.nn import tape as nntape
+
+    detectors = [
+        RAE(max_iterations=2 if TINY else 4, kernels=16, num_layers=3,
+            seed=i).fit(make_series(i, 400))
+        for i in range(SHARDS)
+    ]
+    histories = [make_series(10 + i, WINDOW) for i in range(SHARDS)]
+    live = [make_series(50 + i, ROUNDS) for i in range(SHARDS)]
+
+    previous = nntape.set_tape_enabled(False)
+    try:
+        eager_scores, eager_seconds = _run_router(
+            StreamRouter(window=WINDOW, batch_size=SHARDS),
+            detectors, histories, live,
+        )
+    finally:
+        nntape.set_tape_enabled(previous)
+    nntape.set_tape_enabled(True)
+    try:
+        compiled_router = StreamRouter(window=WINDOW, batch_size=SHARDS)
+        compiled_scores, compiled_seconds = _run_router(
+            compiled_router, detectors, histories, live,
+        )
+    finally:
+        nntape.set_tape_enabled(previous)
+
+    # The compiled path changes how forwards run, never what they compute.
+    assert np.array_equal(compiled_scores, eager_scores)
+
+    eager = float(np.median(eager_seconds))
+    compiled = float(np.median(compiled_seconds))
+    speedup = eager / max(compiled, 1e-12)
+    print("\nper-round drain over %d same-spec shards (window=%d): eager "
+          "%.2f ms, compiled %.2f ms (%.1fx)"
+          % (SHARDS, WINDOW, 1e3 * eager, 1e3 * compiled, speedup))
+    reason = ("tiny mode: sizes too small for a meaningful ratio"
+              if TINY else None)
+    _record_result("compiled_drain", {
+        "shards": SHARDS, "window": WINDOW, "rounds": ROUNDS,
+        "eager_ms": 1e3 * eager, "compiled_ms": 1e3 * compiled,
+        "speedup": speedup,
+    }, skipped_reason=reason)
+    if reason is not None:
+        pytest.skip(reason + " (equality asserted above)")
+    assert speedup >= 2.0, (
+        "compiled drain only %.1fx faster than the eager path" % speedup
+    )
 
 
 def test_process_drain_beats_serial_on_independent_shards():

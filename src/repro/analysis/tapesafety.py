@@ -1,4 +1,5 @@
-"""Tape-safety rules: stale-draw poisoners, replay allocations.
+"""Tape-safety rules: stale-draw poisoners, replay allocations, stacked
+weight buffer mutation.
 
 The training tape replays recorded ``forward(out=None)`` closures
 bit-identically — but only if (a) modules that opt in with ``tape_safe =
@@ -24,7 +25,7 @@ import ast
 from .rules import Rule, register
 from .walker import dotted_name
 
-__all__ = ["TapePoisonRule", "TapeOutAllocRule"]
+__all__ = ["TapePoisonRule", "TapeOutAllocRule", "StackedBufferMutationRule"]
 
 #: Generator sampling methods.  A draw from any of these wrapped straight
 #: into a ``Tensor`` bakes one record-time sample into the recorded graph;
@@ -204,4 +205,96 @@ class TapeOutAllocRule(Rule):
                     ctx, call,
                     "%s(...) allocates per replay in a forward(out=) "
                     "closure" % name,
+                )
+
+
+def _stacked_buffer_names(classdef):
+    """The attribute names a ``_STACKED_BUFFERS`` declaration protects."""
+    for statement in classdef.body:
+        if not isinstance(statement, ast.Assign):
+            continue
+        targets = [t.id for t in statement.targets
+                   if isinstance(t, ast.Name)]
+        if "_STACKED_BUFFERS" not in targets:
+            continue
+        value = statement.value
+        if isinstance(value, (ast.Tuple, ast.List)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str)
+            for e in value.elts
+        ):
+            return [e.value for e in value.elts]
+    return []
+
+
+def _mutated_attr(target):
+    """The attribute name a mutation target writes through, or None.
+
+    Peels tuple/list unpacking and subscript chains so ``p.weights[i] =
+    ...``, ``p.weights[i][...] = ...`` and ``a, p.biases = ...`` all
+    resolve to their underlying attribute.
+    """
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            attr = _mutated_attr(element)
+            if attr is not None:
+                return attr
+        return None
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@register
+class StackedBufferMutationRule(Rule):
+    id = "stacked-weight-mutation"
+    category = "tape-safety"
+    description = (
+        "a stacked weight buffer (declared via _STACKED_BUFFERS on a "
+        "compiled inference program) is mutated outside the declaring "
+        "class: the program's replay closures read those buffers, so an "
+        "outside write desynchronises the compiled forward from the "
+        "member modules it was recorded from"
+    )
+    hint = (
+        "hot-swap weights by rebinding the member module's Parameter "
+        ".data (the member token then invalidates the cached program and "
+        "refresh() re-copies), or mutate inside the program's own methods"
+    )
+
+    def check(self, ctx):
+        owners = {}   # protected attr name -> [declaring ClassDef, ...]
+        inside = {}   # ClassDef -> node ids inside it
+        for node in ctx.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            names = _stacked_buffer_names(node)
+            if not names:
+                continue
+            inside[node] = {id(sub) for sub in ast.walk(node)}
+            for name in names:
+                owners.setdefault(name, []).append(node)
+        if not owners:
+            return
+        for node in ctx.walk():
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                attr = _mutated_attr(target)
+                if attr not in owners:
+                    continue
+                if any(id(node) in inside[cls] for cls in owners[attr]):
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    "write to stacked buffer attribute .%s outside its "
+                    "declaring program class %s" % (
+                        attr,
+                        "/".join(cls.name for cls in owners[attr]),
+                    ),
                 )

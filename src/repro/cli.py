@@ -289,6 +289,12 @@ def build_parser():
                        help="bind address for --tcp/--http "
                             "(default: 127.0.0.1)")
     serve.add_argument("--output", help="output CSV path (default: stdout)")
+    serve.add_argument("--eager", action="store_true", dest="serve_eager",
+                       help="disable the compiled inference path (grad-free "
+                            "score tapes + stacked cross-detector programs) "
+                            "and run every drain forward eagerly; scores "
+                            "are bit-identical either way. REPRO_EAGER=1 "
+                            "does the same")
 
     lint = sub.add_parser(
         "lint",
@@ -746,6 +752,11 @@ def _print_router_stats(router, window, detector):
           "(window=%d, method=%s)"
           % (stats["streams"], stats["scored"], stats["dropped"],
              stats["drains"], window, method), file=sys.stderr)
+    cache = stats.get("program_cache")
+    if cache is not None:
+        print("program cache: %d hits, %d misses, %d invalidations"
+              % (cache["hits"], cache["misses"], cache["invalidations"]),
+              file=sys.stderr)
     for stream_id, per in stats["per_stream"].items():
         print("  %s: scored=%d dropped=%d lag=%d window_fill=%d mode=%s"
               % (stream_id, per["scored"], per["dropped"], per["lag"],
@@ -803,10 +814,13 @@ def _run_lint(args):
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    if getattr(args, "eager", False):
+    if getattr(args, "eager", False) or getattr(args, "serve_eager", False):
         from . import nn
 
         nn.tape.set_tape_enabled(False)
+        # Spawned drain workers re-import and read the env, so the opt-out
+        # must travel there too (fork inherits the toggle either way).
+        os.environ["REPRO_EAGER"] = "1"
     if args.command == "list-methods":
         for name in available_methods():
             print(name)

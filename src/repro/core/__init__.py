@@ -21,9 +21,12 @@ from .persistence import (
 from .rae import RAE
 from .rdae import RDAE
 from .scoring import (
+    InferencePrograms,
     ScoringSession,
+    architecture_fingerprint,
     batched_score_new,
     batched_session_scores,
+    drain_group_key,
     iter_key_batches,
 )
 from .variants import ABLATION_NAMES, NRAE, NRDAE, make_ablation
@@ -39,9 +42,12 @@ __all__ = [
     "WeightStore",
     "save_pipeline",
     "load_pipeline",
+    "InferencePrograms",
     "ScoringSession",
+    "architecture_fingerprint",
     "batched_score_new",
     "batched_session_scores",
+    "drain_group_key",
     "iter_key_batches",
     "make_ablation",
     "ABLATION_NAMES",

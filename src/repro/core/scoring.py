@@ -27,13 +27,30 @@ Tail forwards and their bit-identity rest on two facts established at the
 :func:`repro.nn.functional.stable_kernels`, whose conv arithmetic is
 independent of the forwarded length (so a slice forward reproduces the
 full forward's bits away from the slice's padded left edge).
+
+The compiled inference path (this PR) removes the remaining per-forward
+overhead.  :func:`architecture_fingerprint` gives every fitted detector a
+stable structural key, so :func:`batched_session_scores` groups slices by
+*architecture* instead of detector identity — S same-spec shards, each
+with its own weights, share one forward.  :class:`InferencePrograms` is
+the program cache that executes those groups: solo-module groups replay a
+grad-free :class:`repro.nn.tape.ScoreTape`, mixed-detector groups replay a
+:class:`repro.nn.batched.StackedScoreProgram` with the member weights
+stacked along a leading axis.  Both replay the serving kernels'
+length-stable arithmetic exactly, so compiled scores are bit-identical to
+the eager drain; any group the cache declines (unsupported architecture,
+``REPRO_EAGER``, poisoned recording) falls back to eager forwards
+partitioned per detector.
 """
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .. import nn
+from ..nn import batched as nn_batched
 from ..baselines.base import as_series
 from ..rpca import apply_prox as _prox
 from ..stream.ring import RingBuffer
@@ -44,9 +61,12 @@ from .rae import RAE
 from .rdae import RDAE
 
 __all__ = [
+    "InferencePrograms",
     "ScoringSession",
+    "architecture_fingerprint",
     "batched_score_new",
     "batched_session_scores",
+    "drain_group_key",
     "iter_key_batches",
 ]
 
@@ -110,6 +130,268 @@ def _forward_scaled_batch(detector, kind, scaled, stable=False):
     return (outlier**2).sum(axis=2) + 1e-9 * (residual**2).sum(axis=2)
 
 
+# --------------------------------------------------------------------- #
+# architecture fingerprints — the cross-detector grouping key
+# --------------------------------------------------------------------- #
+
+def _module_signature(module):
+    """Hashable structural identity of a module tree.
+
+    Type names, non-private scalar hyperparameters (padding, kernel,
+    chunk, ...), child modules (attributes and lists, recursively), and
+    the ``named_parameters`` name/shape sequence.  Two modules share a
+    signature exactly when they run the same forward pipeline over
+    identically-shaped weights — the condition for stacking their score
+    forwards along a leading member axis.
+    """
+    parts = []
+    for name, value in vars(module).items():
+        if name.startswith("_") or name == "training":
+            continue
+        if isinstance(value, nn.Parameter):
+            continue
+        if isinstance(value, nn.Module):
+            parts.append((name, _module_signature(value)))
+        elif isinstance(value, (list, tuple)) and value and all(
+            isinstance(item, nn.Module) for item in value
+        ):
+            parts.append(
+                (name, tuple(_module_signature(item) for item in value))
+            )
+        elif isinstance(value, (bool, int, float, str)):
+            parts.append((name, value))
+    params = tuple(
+        (name, tuple(int(d) for d in p.data.shape))
+        for name, p in module.named_parameters()
+    )
+    return (type(module).__name__, tuple(parts), params)
+
+
+def architecture_fingerprint(detector, kind=None):
+    """Stable grouping key for a fitted detector's serving forward.
+
+    Same-spec detectors with *different weights* share a fingerprint, so
+    drains can stack their slices through one batched forward; detectors
+    of different architecture (or scoring kind) never collide.  The
+    lagged-matrix RDAE path keeps identity keys — its embedding geometry
+    is per-session and never batches across detectors.
+
+    The fingerprint is memoised per serving-module object; it reflects the
+    structure at first use.  That is only a *grouping* hint — a group
+    whose members turn out not to stack (e.g. a weight hot-swapped to a
+    mismatched shape after the memo) degrades to per-detector eager
+    forwards or per-shard fault isolation, never to wrong scores.
+    """
+    if kind is None:
+        kind = _check_fitted(detector)
+    if kind == "rdae_matrix":
+        return ("rdae_matrix", id(detector))
+    module = detector.model_ if kind == "rae" else detector._f2
+    cached = detector.__dict__.get("_arch_fingerprint")
+    if cached is not None and cached[0] is module:
+        return cached[1]
+    fingerprint = (kind, _module_signature(module))
+    detector.__dict__["_arch_fingerprint"] = (module, fingerprint)
+    return fingerprint
+
+
+def drain_group_key(detector):
+    """The shard-grouping key :class:`repro.serve.StreamRouter` drains by.
+
+    Fitted RAE/RDAE detectors group by :func:`architecture_fingerprint`
+    (same-spec shards share one batched forward even with per-stream
+    weights); anything else — unfitted detectors, baseline methods —
+    keeps the old identity key and scores in its own group.
+    """
+    try:
+        kind = _check_fitted(detector)
+    except (TypeError, RuntimeError):
+        return ("id", id(detector))
+    return architecture_fingerprint(detector, kind)
+
+
+# --------------------------------------------------------------------- #
+# the compiled inference path
+# --------------------------------------------------------------------- #
+
+class InferencePrograms:
+    """Per-router (or per-worker) cache of compiled score forwards.
+
+    One instance is shared by every shard of a router — solo slice
+    forwards replay grad-free :func:`repro.nn.tape.score_tape` recordings,
+    and cross-detector groups replay
+    :class:`repro.nn.batched.StackedScoreProgram` pipelines cached by
+    ``(architecture fingerprint, stacked input shape)``.  ``hits`` /
+    ``misses`` / ``invalidations`` count cache events for
+    ``StreamRouter.stats()``; an invalidation means a member's parameter
+    array was hot-swapped since the program compiled (the program is
+    refreshed from the new weights before it replays).
+
+    Thread-safe: the cache map and counters sit behind one lock, and every
+    program serialises its own replays — concurrent drain workers scoring
+    different groups never contend beyond the cache lookup.
+    """
+
+    _MAX_STACKED = 32
+
+    #: Lock discipline, machine-checked by ``repro lint`` (lock-guarded).
+    _GUARDED_BY = {
+        "_stacked": "_lock",
+        "_hits": "_lock",
+        "_misses": "_lock",
+        "_invalidations": "_lock",
+    }
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stacked = {}  # (fingerprint, shape) -> (member token, program|None)
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # -- counters ------------------------------------------------------- #
+    def _count(self, event):
+        if event is None:
+            return
+        with self._lock:
+            if event == "hit":
+                self._hits += 1
+            elif event == "miss":
+                self._misses += 1
+            elif event == "invalidated":
+                self._invalidations += 1
+
+    def counters(self):
+        """Snapshot of ``{"hits", "misses", "invalidations"}``."""
+        with self._lock:
+            return {"hits": self._hits, "misses": self._misses,
+                    "invalidations": self._invalidations}
+
+    def take_counters(self):
+        """Return the counters and reset them to zero (delta accounting:
+        the router absorbs per-drain deltas into its persistent totals)."""
+        with self._lock:
+            out = {"hits": self._hits, "misses": self._misses,
+                   "invalidations": self._invalidations}
+            self._hits = self._misses = self._invalidations = 0
+            return out
+
+    # -- program lookup ------------------------------------------------- #
+    def _stacked_program(self, fingerprint, modules, shape):
+        """The cached stacked program for this group, refreshed/rebuilt as
+        needed; None when the group cannot compile (cached so repeated
+        drains of an unstackable group pay one plan walk, not one per
+        drain — the member token keys the verdict, so a weight hot-swap
+        retries)."""
+        key = (fingerprint, shape)
+        token = nn_batched.stacked_member_token(modules)
+        with self._lock:
+            entry = self._stacked.get(key)
+            if entry is not None and entry[0] == token:
+                if entry[1] is not None:
+                    self._hits += 1
+                return entry[1]
+            if entry is not None:
+                self._invalidations += 1
+                program = entry[1]
+            else:
+                self._misses += 1
+                program = None
+            self._stacked.pop(key, None)
+        if program is not None:
+            try:
+                program.refresh(modules)
+            except Exception:  # noqa: BLE001 - shape drift; rebuild below
+                program = None
+        if program is None:
+            plan = nn_batched.stacked_score_plan(modules)
+            if plan is not None:
+                try:
+                    program = nn_batched.StackedScoreProgram(plan, shape)
+                except Exception:  # noqa: BLE001 - unbuildable at this shape
+                    program = None
+        with self._lock:
+            if len(self._stacked) >= self._MAX_STACKED:
+                self._stacked.pop(next(iter(self._stacked)))
+            self._stacked[key] = (token, program)
+        return program
+
+    def score_batch(self, detectors, kind, scaled):
+        """Compiled scores for a stacked ``(S, C, D)`` batch, or None.
+
+        Row ``i`` of ``scaled`` belongs to ``detectors[i]`` (objects may
+        repeat).  Returns the ``(S, C)`` per-observation scores —
+        bit-identical to the eager stable forward of each row through its
+        own detector — or None when the compiled path declines (tape
+        compilation disabled, lagged-matrix kind, unsupported
+        architecture, poisoned recording) and the caller must run eager.
+        """
+        if kind not in ("rae", "rdae_series") or not nn.tape.tape_enabled():
+            return None
+        modules = [
+            det.model_ if kind == "rae" else det._f2 for det in detectors
+        ]
+        tensor = np.ascontiguousarray(scaled.transpose(0, 2, 1))  # (S, D, C)
+        first = modules[0]
+        if all(module is first for module in modules):
+            tape, event = nn.tape.score_tape(first, tensor.shape)
+            self._count(event)
+            if tape is None:
+                return None
+            recon = tape.run(tensor)
+        else:
+            fingerprint = architecture_fingerprint(detectors[0], kind)
+            program = self._stacked_program(fingerprint, modules, tensor.shape)
+            if program is None:
+                return None
+            recon = program.run(tensor)
+        clean = recon.transpose(0, 2, 1)                 # (S, C, D)
+        residual = scaled - clean
+        pairs = [
+            (det.lam if kind == "rae" else det.lam2, det.prox)
+            for det in detectors
+        ]
+        if all(pair == pairs[0] for pair in pairs):
+            outlier = _prox(residual, pairs[0][0], pairs[0][1])
+        else:
+            # Per-row thresholding when hyperparameters differ across the
+            # stacked members — _prox is elementwise, so per-row equals
+            # the batched call bit for bit.
+            outlier = np.empty_like(residual)
+            for row, (lam, prox) in enumerate(pairs):
+                outlier[row] = _prox(residual[row], lam, prox)
+        return (outlier**2).sum(axis=2) + 1e-9 * (residual**2).sum(axis=2)
+
+
+def _group_scaled_batch(detectors, kind, batch, programs):
+    """Score a same-shape ``(S, C, D)`` batch; row i owns detectors[i].
+
+    Tries the compiled path first; eager fallback partitions rows per
+    detector — one detector's module must never forward another's rows
+    (their weights differ even when the architecture matches).  Stable
+    kernels make each row's arithmetic independent of its batchmates, so
+    the partitioned eager result equals the stacked compiled one bit for
+    bit.
+    """
+    if programs is not None:
+        scores = programs.score_batch(detectors, kind, batch)
+        if scores is not None:
+            return scores
+    first = detectors[0]
+    if all(det is first for det in detectors):
+        return _forward_scaled_batch(first, kind, batch, stable=True)
+    scores = np.empty(batch.shape[:2])
+    partitions = {}
+    for row, det in enumerate(detectors):
+        partitions.setdefault(id(det), (det, []))[1].append(row)
+    for det, rows in partitions.values():
+        index = np.asarray(rows)
+        scores[index] = _forward_scaled_batch(
+            det, kind, batch[index], stable=True
+        )
+    return scores
+
+
 class ScoringSession:
     """Incremental ``score_new`` over a sliding window of a live stream.
 
@@ -126,6 +408,11 @@ class ScoringSession:
         field), not O(window), with scores bit-identical to a full
         re-forward.  Architectures without a bound (FC ablations, the
         lagged-matrix path) fall back to full forwards automatically.
+    programs: optional :class:`InferencePrograms` cache.  When given,
+        slice forwards replay compiled grad-free score tapes instead of
+        rebuilding the autograd graph eagerly; scores are bit-identical
+        either way (both run under stable kernels), so a session may gain
+        or lose the cache across save/restore without a score changing.
 
     The session applies the detector's *training* scaler (the stream is
     assumed to monitor the trained process), keeps scaled observations in a
@@ -158,9 +445,11 @@ class ScoringSession:
     push forwards O(receptive field + chunk) positions, never O(window).
     """
 
-    def __init__(self, detector, window=256, tail_forward=True):
+    def __init__(self, detector, window=256, tail_forward=True,
+                 programs=None):
         self.kind = _check_fitted(detector)
         self.detector = detector
+        self.programs = programs
         self.window = int(window)
         if self.window < 2:
             raise ValueError("window must be >= 2")
@@ -412,6 +701,12 @@ class ScoringSession:
     def _slice_forward(self, lo, hi):
         """Exact scores of window rows ``[lo, hi)`` via one stable forward."""
         view = np.asarray(self._ring.view())
+        if self.programs is not None:
+            scores = self.programs.score_batch(
+                [self.detector], self.kind, view[lo:hi][None]
+            )
+            if scores is not None:
+                return scores[0]
         return _forward_scaled_batch(
             self.detector, self.kind, view[lo:hi][None], stable=True
         )[0]
@@ -514,16 +809,21 @@ def batched_score_new(detector, series_batch):
     return _forward_scaled_batch(detector, kind, scaled)
 
 
-def batched_session_scores(sessions, batch_size=32, tail=None):
+def batched_session_scores(sessions, batch_size=32, tail=None,
+                           programs=None):
     """Refresh many sessions' scores with as few forwards as possible.
 
     The sharded-serving drain path: after a burst of arrivals has been
     ingested into many :class:`ScoringSession` shards (via :meth:`ingest`),
     each stale session contributes the ring slices its refresh plan needs —
     a bounded head/tail pair for tail-capable sessions, the whole window
-    otherwise — and slices that share a detector, kind and length are
-    stacked through **one** forward pass per group instead of one per
-    shard.  Results are installed into each session's memo, so subsequent
+    otherwise — and slices that share an **architecture fingerprint** and
+    length are stacked through **one** forward pass per group instead of
+    one per shard.  Distinct same-spec detectors (e.g. 64 streams each
+    holding its own fitted copy of one architecture) therefore share a
+    group; with a ``programs`` cache their weights stack along a leading
+    member axis and the whole group replays one compiled program.
+    Results are installed into each session's memo, so subsequent
     ``scores()``/``last_scores()`` reads are free.  Sessions on the
     lagged-matrix path (whose embedding geometry is per-session) and
     still-warming sessions fall back to their solo path.
@@ -536,6 +836,9 @@ def batched_session_scores(sessions, batch_size=32, tail=None):
         anchor is misaligned serve the drain from a bounded standalone tail
         slice instead of paying a full-window forward.  When ``None``, the
         full window score vectors are returned, exactly as before.
+    programs: optional :class:`InferencePrograms` compiled-path cache.
+        ``None`` keeps every group on the eager stable forward; scores are
+        bit-identical either way.
 
     Returns the per-session arrays in input order.
     """
@@ -569,7 +872,11 @@ def batched_session_scores(sessions, batch_size=32, tail=None):
         for j, (lo, hi) in enumerate(session._plan_slices(plan)):
             jobs.append((index, j, lo, hi))
     if jobs:
-        keys = [(id(work[i][0].detector), work[i][0].kind, hi - lo)
+        # Group by architecture fingerprint, not object identity: distinct
+        # detectors with the same spec stack into one forward (the
+        # fingerprint embeds the scoring kind).
+        keys = [(architecture_fingerprint(work[i][0].detector,
+                                          work[i][0].kind), hi - lo)
                 for i, __, lo, hi in jobs]
         forwards = {}
         for indices in iter_key_batches(keys, batch_size):
@@ -578,10 +885,9 @@ def batched_session_scores(sessions, batch_size=32, tail=None):
                 np.asarray(work[i][0]._ring.view())[lo:hi]
                 for i, __, lo, hi in group
             ])
-            leader = work[group[0][0]][0]
-            scores = _forward_scaled_batch(
-                leader.detector, leader.kind, batch, stable=True
-            )
+            detectors = [work[i][0].detector for i, *__ in group]
+            kind = work[group[0][0]][0].kind
+            scores = _group_scaled_batch(detectors, kind, batch, programs)
             for row, (i, j, __, ___) in enumerate(group):
                 forwards[(i, j)] = scores[row]
         for index in sorted({i for i, *__ in jobs}):

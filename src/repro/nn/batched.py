@@ -26,24 +26,40 @@ floating-point operation sequence of the serial op:
 * gradient clipping and Adam run per member slice (elementwise ops on the
   stacked arrays), with the optimiser's shared step counter in lockstep
   with every still-active member's serial counter.
+
+Stacked *inference* programs (this PR).  Training batching stacks M copies
+of one spec fitted together; serving wants the transpose — M **already
+fitted** detectors of the same spec, each with its own weights, scoring M
+independent window slices in one pass.  :func:`stacked_score_plan` flattens
+the members' stable score forwards into one shared step plan, and
+:class:`StackedScoreProgram` compiles that plan into persistent buffers
+whose conv steps run the *exact* length-stable arithmetic of the serial
+serving kernel per member slice (the same per-position channel dot, the
+same tap order, the same in-place accumulation), so slice ``m`` of the
+stacked output is bit-identical to member ``m``'s solo stable forward.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from . import functional as F
 from . import tape as nn_tape
-from .layers import Module, Parameter
+from .layers import Conv1d, MaxPool1d, Module, Parameter, ReLU
 from .tensor import Tensor, _record, as_tensor, no_grad
 
 __all__ = [
     "BatchedConvSeriesAE",
+    "StackedScoreProgram",
     "bconv1d",
     "batched_mse_loss",
     "batched_clip_grad_norm",
     "batched_train_reconstruction",
+    "stacked_member_token",
+    "stacked_score_plan",
 ]
 
 
@@ -278,3 +294,300 @@ def batched_train_reconstruction(model, optimizer, inputs, epochs, n_members):
     with no_grad():
         output = model(Tensor(inputs)).data
     return output
+
+
+# --------------------------------------------------------------------- #
+# stacked inference programs (cross-detector batched score forwards)
+# --------------------------------------------------------------------- #
+
+#: Plan marker for :class:`repro.core.autoencoders.ConvSeriesAE`'s
+#: functional decode-side upsampling (it is called in ``forward``, not
+#: registered as a child module, so the layer chain needs a stand-in).
+_UPSAMPLE = object()
+
+
+def _score_layer_chain(module):
+    """The flat layer chain ``module``'s stable score forward executes.
+
+    Only architectures whose serving forward is a straight pipeline of
+    Conv1d/ReLU/MaxPool1d/upsample steps have a stacked-inference
+    template; anything else returns None (the caller falls back to solo
+    tapes or eager forwards).  Matching is by type name + structural
+    validation in :func:`stacked_score_plan` — ``repro.nn`` cannot import
+    ``repro.core``, and the architecture fingerprints that group members
+    guarantee homogeneous types anyway.
+    """
+    name = type(module).__name__
+    if name == "ConvSeriesAE":
+        return (list(module.encoder) + [_UPSAMPLE]
+                + list(module.decoder_convs) + [module.readout])
+    if name == "ConvTransform1d":
+        return list(module.net)
+    return None
+
+
+def stacked_score_plan(modules):
+    """Shared step plan for same-architecture members, or None.
+
+    ``modules`` holds one serving module per batch row (the same object
+    may appear on several rows).  Returns a list of steps —
+    ``("conv", member_layers, padding)`` / ``("relu",)`` /
+    ``("pool", kernel)`` / ``("upsample", factor)`` — when every member
+    runs the identical pipeline with identically-shaped weights, and None
+    when the group cannot stack (unknown architecture, diverging layer
+    counts, or mismatched weight shapes after a botched hot-swap).
+    """
+    modules = list(modules)
+    if not modules:
+        return None
+    first_type = type(modules[0])
+    if any(type(module) is not first_type for module in modules):
+        return None
+    chains = []
+    for module in modules:
+        try:
+            chain = _score_layer_chain(module)
+        except (AttributeError, TypeError):
+            return None
+        if chain is None:
+            return None
+        chains.append(chain)
+    if len({len(chain) for chain in chains}) != 1:
+        return None
+    steps = []
+    for position in zip(*chains):
+        lead = position[0]
+        if lead is _UPSAMPLE:
+            if any(layer is not _UPSAMPLE for layer in position):
+                return None
+            steps.append(("upsample", 2))
+        elif isinstance(lead, Conv1d):
+            shape = lead.weight.data.shape
+            padding = lead.padding
+            ok = all(
+                isinstance(layer, Conv1d)
+                and layer.weight.data.shape == shape
+                and layer.padding == padding
+                and layer.bias is not None
+                for layer in position
+            )
+            if not ok:
+                return None
+            steps.append(("conv", position, int(padding)))
+        elif isinstance(lead, ReLU):
+            if any(not isinstance(layer, ReLU) for layer in position):
+                return None
+            steps.append(("relu",))
+        elif isinstance(lead, MaxPool1d):
+            kernel = lead.kernel
+            if any(not isinstance(layer, MaxPool1d) or layer.kernel != kernel
+                   for layer in position):
+                return None
+            steps.append(("pool", int(kernel)))
+        else:
+            return None
+    if not any(step[0] == "conv" for step in steps):
+        return None
+    return steps
+
+
+def stacked_member_token(modules):
+    """Identity token of the member modules and their parameter arrays.
+
+    A cached :class:`StackedScoreProgram` holds *copies* of the member
+    weights, so it must be refreshed whenever the membership changes or a
+    member's parameter is hot-swapped to a fresh backing array (the
+    versioned-swap convention: rebind ``.data``, don't mutate a live
+    fitted module's weights in place).
+    """
+    return tuple(
+        (id(module),)
+        + tuple(id(p.data) for __, p in module.named_parameters())
+        for module in modules
+    )
+
+
+class StackedScoreProgram:
+    """Compiled stacked score forward: M members, one replayable pipeline.
+
+    Built from a :func:`stacked_score_plan` for a fixed stacked input
+    shape ``(M, C_in, L)`` — row ``m`` is one window slice owned by member
+    ``m``.  Member weights are stacked along a leading axis once at build
+    time, every intermediate activation gets a persistent buffer, and
+    :meth:`run` just executes the step closures.  Each conv step runs the
+    serving kernel's length-stable arithmetic per member slice — the same
+    per-position channel dot (``einsum("mfc,mcl->mfl")`` computes slice
+    ``m`` exactly like the serial ``einsum("fc,ncl->nfl")``), the same tap
+    order, the same in-place tap accumulation and bias add — so the
+    stacked output is bit-identical to M solo stable forwards.
+
+    The stacked parameter copies are replay state: mutating them outside
+    this class desynchronises the program from its members silently (the
+    ``stacked-weight-mutation`` lint rule flags it).  Hot-swap member
+    weights by rebinding ``.data``; :func:`stacked_member_token` changes
+    and the owning cache calls :meth:`refresh`.
+    """
+
+    #: Stacked parameter buffers owned by the recorded program; mutating
+    #: them outside this class is flagged by ``repro lint``.
+    _STACKED_BUFFERS = ("weights", "biases")
+
+    def __init__(self, plan, shape):
+        m, dims, length = (int(d) for d in shape)
+        self.n_members = m
+        self.replays = 0
+        self.weights = []  # one stacked (M, F, C_in, K) array per conv step
+        self.biases = []   # one stacked (M, F) array per conv step
+        self._steps = []
+        self._lock = threading.Lock()
+        self.x = np.empty((m, dims, length))
+        cur, channels, l_cur = self.x, dims, length
+        for step in plan:
+            op = step[0]
+            if op == "conv":
+                cur, channels, l_cur = self._build_conv(
+                    step[1], step[2], cur, channels, l_cur
+                )
+            elif op == "relu":
+                buf = np.empty_like(cur)
+                self._steps.append(self._relu_step(cur, buf))
+                cur = buf
+            elif op == "pool":
+                kernel = step[1]
+                l_out = l_cur // kernel
+                buf = np.empty((m, channels, l_out))
+                self._steps.append(
+                    self._pool_step(cur, buf, channels, l_out, kernel)
+                )
+                cur, l_cur = buf, l_out
+            elif op == "upsample":
+                # ConvSeriesAE upsamples back to the *input* length
+                # (forward passes size=length to the functional op).
+                index = np.minimum(np.arange(length) // step[1], l_cur - 1)
+                buf = np.empty((m, channels, length))
+                self._steps.append(self._upsample_step(cur, buf, index))
+                cur, l_cur = buf, length
+            else:  # pragma: no cover - plan and builder ship together
+                raise ValueError("unknown plan step %r" % (op,))
+        self.out = cur
+
+    def _build_conv(self, members, padding, src, c_in, l_cur):
+        if len(members) != self.n_members:
+            raise ValueError(
+                "plan has %d members but the batch stacks %d rows"
+                % (len(members), self.n_members)
+            )
+        w = np.stack([layer.weight.data for layer in members])
+        b = np.stack([layer.bias.data for layer in members])
+        self.weights.append(w)
+        self.biases.append(b)
+        f, k = int(w.shape[1]), int(w.shape[3])
+        l_in = l_cur + 2 * padding
+        if l_in < k:
+            raise ValueError(
+                "input length %d shorter than kernel %d" % (l_in, k)
+            )
+        l_out = l_in - k + 1
+        # The pad buffer is zeroed once; replays rewrite only the interior
+        # (the padding columns stay zero), exactly like the solo pad1d
+        # closure replaying into its reused buffer.
+        padded = np.zeros((self.n_members, c_in, l_in)) if padding else None
+        out = np.empty((self.n_members, f, l_out))
+        tmp = np.empty_like(out) if k > 1 else None
+
+        def step(src=src, padded=padded, w=w, b=b, out=out, tmp=tmp,
+                 c_in=c_in, k=k, l_out=l_out, padding=padding, l_raw=l_cur):
+            if padded is not None:
+                padded[:, :, padding : padding + l_raw] = src
+                xp = padded
+            else:
+                xp = src
+            # Mirror the solo stable kernel tap by tap: fixed-order
+            # accumulation, per-position channel dot, broadcast multiply
+            # for the degenerate single-channel case.
+            if c_in == 1:
+                np.multiply(xp[:, :, 0:l_out],
+                            w[:, :, 0, 0][:, :, None], out=out)
+            else:
+                np.einsum("mfc,mcl->mfl", w[:, :, :, 0],
+                          xp[:, :, 0:l_out], optimize=False, out=out)
+            for tap in range(1, k):
+                if c_in == 1:
+                    np.multiply(xp[:, :, tap : tap + l_out],
+                                w[:, :, 0, tap][:, :, None], out=tmp)
+                else:
+                    np.einsum("mfc,mcl->mfl", w[:, :, :, tap],
+                              xp[:, :, tap : tap + l_out],
+                              optimize=False, out=tmp)
+                np.add(out, tmp, out=out)
+            out += b[:, :, None]
+
+        self._steps.append(step)
+        return out, f, l_out
+
+    @staticmethod
+    def _relu_step(src, out):
+        def step(src=src, out=out):
+            np.multiply(src, src > 0, out=out)
+
+        return step
+
+    @staticmethod
+    def _pool_step(src, out, channels, l_out, kernel):
+        def step(src=src, out=out, c=channels, l_out=l_out, kernel=kernel):
+            m = src.shape[0]
+            trimmed = src[:, :, : l_out * kernel].reshape(m, c, l_out, kernel)
+            arg = trimmed.argmax(axis=3)
+            np.copyto(
+                out, np.take_along_axis(trimmed, arg[..., None], axis=3)[..., 0]
+            )
+
+        return step
+
+    @staticmethod
+    def _upsample_step(src, out, index):
+        def step(src=src, out=out, index=index):
+            np.take(src, index, axis=2, out=out)
+
+        return step
+
+    def run(self, batch):
+        """The stacked reconstruction of ``batch`` (shape ``(M, C_in, L)``).
+
+        Returns the persistent output buffer — consume it before the next
+        ``run``.  Replays are serialised by an internal lock (the buffers
+        are shared mutable state).
+        """
+        with self._lock:
+            if batch is not self.x:
+                np.copyto(self.x, batch)
+            for step in self._steps:
+                step()
+            self.replays += 1
+            return self.out
+
+    def refresh(self, modules):
+        """Re-copy member weights after a hot-swap or membership change.
+
+        Raises when the new members no longer match the compiled structure
+        (e.g. a swapped-in weight of a different shape) — the owning cache
+        then rebuilds or declines, it never replays stale weights.
+        """
+        plan = stacked_score_plan(list(modules))
+        if plan is None:
+            raise ValueError("members no longer share a stackable plan")
+        convs = [step for step in plan if step[0] == "conv"]
+        if len(convs) != len(self.weights):
+            raise ValueError("member layer structure changed since compile")
+        for w, b, step in zip(self.weights, self.biases, convs):
+            members = step[1]
+            if len(members) != w.shape[0]:
+                raise ValueError("member count changed since compile")
+            for j, layer in enumerate(members):
+                np.copyto(w[j], layer.weight.data)
+                np.copyto(b[j], layer.bias.data)
+
+    def __repr__(self):
+        return "StackedScoreProgram(members=%d, convs=%d, replays=%d)" % (
+            self.n_members, len(self.weights), self.replays
+        )

@@ -36,11 +36,24 @@ declines to tape at all under ``no_grad``, under
 :func:`repro.nn.functional.stable_kernels`, or for modules that are not
 structurally replayable (:func:`module_tape_safe`).  Everything declined
 falls back to eager execution, which remains the reference semantics.
+
+Inference tapes (this PR's grad-free mode).  Serving forwards run under
+``no_grad`` + ``stable_kernels`` — exactly the combination
+:func:`training_tape` declines — yet they are even more replayable than
+training steps: no backward, no optimizer events, no stochastic draws.
+:class:`ScoreTape` records that score forward once per ``(module, input
+shape)`` and replays just the op closures with persistent output buffers;
+because recording runs *inside* ``no_grad()``/``stable_kernels()``, the
+closures bake in the length-stable serving arithmetic and replay it
+bit-identically.  :func:`score_tape` is the shape-keyed cache (invalidated
+when a parameter's backing array is hot-swapped), honouring the same
+``REPRO_EAGER`` opt-out as the training tape.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 
 import numpy as np
 
@@ -50,10 +63,10 @@ from .attention import (
     PositionalEncoding,
     TransformerEncoderLayer,
 )
-from .functional import stable_kernels_active
+from .functional import stable_kernels, stable_kernels_active
 from .losses import mse_loss
 from .recurrent import LSTM, LSTMCell
-from .tensor import Tensor, _push_tape, _topo_order, is_grad_enabled
+from .tensor import Tensor, _push_tape, _topo_order, is_grad_enabled, no_grad
 
 __all__ = [
     "TrainStepTape",
@@ -62,6 +75,9 @@ __all__ = [
     "module_tape_safe",
     "tape_enabled",
     "set_tape_enabled",
+    "ScoreTape",
+    "score_tape",
+    "release_score_tapes",
 ]
 
 # Process-wide opt-out: REPRO_EAGER=1 (or set_tape_enabled(False) / the CLI
@@ -404,7 +420,168 @@ def release_tapes(model):
     and kernel scratch array of one training graph alive — tens of MB for a
     long-series fit.  Training loops that keep their fitted model around
     (RAE/RDAE store it for scoring and persistence) call this once the fit
-    finishes; the next fit simply re-records.  The ``_tape_safe`` verdict is
-    kept — it is a property of the module structure, not of a recording.
+    finishes; the next fit simply re-records.  Recorded *score* tapes are
+    dropped too — a post-fit module has new weights per fit, so stale
+    inference recordings must not outlive the fit either.  The
+    ``_tape_safe`` verdict is kept — it is a property of the module
+    structure, not of a recording.
     """
     model.__dict__.pop("_tape_cache", None)
+    model.__dict__.pop("_score_tape_cache", None)
+
+
+# --------------------------------------------------------------------- #
+# grad-free inference tapes (the compiled scoring path)
+# --------------------------------------------------------------------- #
+
+#: Maximum recorded score tapes kept per module (distinct input shapes).
+#: Serving slices come in a handful of aligned lengths (full window, the
+#: receptive-field tail, the splice head), so a small bound fits the
+#: working set while still evicting pathological shape churn.
+_MAX_SCORE_TAPES_PER_MODULE = 6
+
+
+def _weights_token(module):
+    """Identity token of the arrays backing ``module``'s parameters.
+
+    Hot-swapping a parameter's value *in place* (``np.copyto``) keeps the
+    token — the recorded closures read ``weight.data`` live, so in-place
+    swaps replay correctly without re-recording.  *Rebinding* ``.data`` to
+    a fresh array (weight hot-swap via assignment, ``load_state_dict``
+    implementations that rebind) changes the token and invalidates the
+    recording.
+    """
+    return tuple(id(p.data) for __, p in module.named_parameters())
+
+
+class ScoreTape:
+    """One recorded no-grad score forward, replayable with fresh inputs.
+
+    The first :meth:`run` call records ``module(x)`` under ``no_grad()`` +
+    ``stable_kernels()`` — the exact serving configuration — so the
+    captured closures ARE the ops the eager scoring path would have run,
+    in the same order, with the same length-stable arithmetic.  Later
+    :meth:`run` calls refresh the persistent input buffer and replay the
+    op stream: no graph construction, no backward bookkeeping, no fresh
+    output arrays.  Bit-identity to the eager stable forward is therefore
+    by construction, not by approximation.
+
+    Replays are serialised by an internal lock: a tape's buffers are
+    shared mutable state, and two router worker threads may reach the
+    same module's tape (replays are short; contention only arises when
+    two groups genuinely share a module).
+    """
+
+    def __init__(self, module):
+        self.module = module
+        self.recorded = False
+        self.failed = None  # reason string once poisoned
+        self.replays = 0
+        self.x = None
+        self._nodes = []
+        self._forwards = []
+        self._out = None
+        self._lock = threading.Lock()
+
+    # -- recorder callbacks (invoked from repro.nn.tensor) -------------- #
+    def _add(self, tensor, forward):
+        self._nodes.append(tensor)
+        self._forwards.append(forward)
+
+    def _add_call(self, fn):  # pragma: no cover - defensive
+        self.failed = "side-effect call recorded inside a score forward"
+
+    def _add_backward(self, root, seed, topo):  # pragma: no cover
+        self.failed = "backward recorded inside a score forward"
+
+    def _poison(self, reason):
+        self.failed = reason
+
+    # ------------------------------------------------------------------ #
+    def run(self, array):
+        """The module's stable-forward output for ``array`` (its shape must
+        match the recording's).  Returns the persistent output buffer —
+        copy before storing it across calls."""
+        with self._lock:
+            if not self.recorded:
+                return self._record(array)
+            xbuf = self.x.data
+            if array is not xbuf:
+                np.copyto(xbuf, array)
+            nodes = self._nodes
+            forwards = self._forwards
+            for i in range(len(nodes)):
+                node = nodes[i]
+                node.data = forwards[i](node.data)
+            self.replays += 1
+            return self._out.data
+
+    def _record(self, array):
+        # The recording run IS a normal eager serving forward — the hooks
+        # only observe, so even a recording that ends up poisoned has
+        # produced the correct output for this call.
+        self.x = Tensor(np.array(array, dtype=np.float64))
+        previous = _push_tape(self)
+        try:
+            with no_grad(), stable_kernels():
+                out = self.module(self.x)
+        finally:
+            _push_tape(previous)
+        self._out = out
+        self.recorded = True
+        return out.data
+
+    def __repr__(self):
+        state = "failed: %s" % self.failed if self.failed else (
+            "recorded, %d replays" % self.replays if self.recorded
+            else "unrecorded"
+        )
+        return "ScoreTape(ops=%d, %s)" % (len(self._nodes), state)
+
+
+def score_tape(module, shape):
+    """The cached :class:`ScoreTape` for ``(module, input shape)``.
+
+    Returns ``(tape, event)``.  ``tape`` is None when the compiled path
+    must decline — tape compilation disabled (``REPRO_EAGER``), the module
+    not structurally replayable, or this recording poisoned — and the
+    caller falls back to the eager stable forward.  ``event`` reports what
+    the cache did (``"hit"``/``"miss"``/``"invalidated"``) for the
+    serving layer's program-cache counters, or None when the lookup never
+    consulted the cache; an ``"invalidated"`` event means a parameter's
+    backing array was hot-swapped since the recording, which re-records.
+    """
+    if not _ENABLED[0]:
+        return None, None
+    state = module.__dict__
+    safe = state.get("_tape_safe")
+    if safe is None:
+        safe = state["_tape_safe"] = module_tape_safe(module)
+    if not safe:
+        return None, None
+    cache = state.get("_score_tape_cache")
+    if cache is None:
+        cache = state["_score_tape_cache"] = {}
+    token = _weights_token(module)
+    key = tuple(int(d) for d in shape)
+    entry = cache.get(key)
+    event = "hit"
+    if entry is not None and entry[0] != token:
+        cache.pop(key, None)
+        entry = None
+        event = "invalidated"
+    if entry is None:
+        if event == "hit":
+            event = "miss"
+        if len(cache) >= _MAX_SCORE_TAPES_PER_MODULE:
+            cache.pop(next(iter(cache)))
+        entry = cache[key] = (token, ScoreTape(module))
+    tape = entry[1]
+    if tape.failed:
+        return None, event
+    return tape, event
+
+
+def release_score_tapes(model):
+    """Drop ``model``'s recorded inference tapes (buffers included)."""
+    model.__dict__.pop("_score_tape_cache", None)

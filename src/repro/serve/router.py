@@ -9,12 +9,17 @@ queue that decouples *arrival* from *scoring*:
 * ``submit`` / ``submit_many`` enqueue arrivals in O(1) and never run a
   forward pass; the queue is the backpressure boundary (see ``on_full``).
 * ``drain`` pops the queued burst, ingests each stream's pending points as
-  one micro-batch, and refreshes every session-backed shard that shares a
-  fitted detector and a slice shape through **one** grouped forward pass
-  (:func:`repro.core.batched_session_scores`) — with ``S`` same-detector
-  shards, a drain pays ~1 forward instead of ``S``.  Shards whose fitted
+  one micro-batch, and refreshes every session-backed shard that shares an
+  architecture fingerprint and a slice shape through **one** grouped
+  forward pass (:func:`repro.core.batched_session_scores`) — with ``S``
+  same-spec shards (shared detector *or* per-stream fitted copies), a
+  drain pays ~1 forward instead of ``S``.  Shards whose fitted
   architecture reports a bounded receptive field contribute only window
   *tails* to those forwards (O(receptive field) per shard, not O(window)).
+  Grouped forwards replay **compiled inference programs** (grad-free score
+  tapes; stacked-weight programs for cross-detector groups) cached per
+  router — ``repro serve --eager`` / ``REPRO_EAGER=1`` opts back into
+  eager forwards, bit-identically.
 
 Per-stream scores are identical (to floating-point batching tolerance) to a
 dedicated :class:`StreamScorer` fed the same chunks: the router runs the
@@ -32,8 +37,8 @@ snapshot (counters never tear mid-drain).  ``drain`` itself is serialised —
 concurrent calls queue up on a drain lock so per-stream chunk ordering is
 preserved — and parallelism *within* a drain comes from the ``threaded``
 backend: ``StreamRouter(drain_backend="threaded", workers=4)`` partitions
-the burst into same-detector shard groups (the unit that shares grouped
-forwards) and scores the groups concurrently on a worker pool, which
+the burst into same-architecture shard groups (the unit that shares
+grouped forwards) and scores the groups concurrently on a worker pool, which
 overlaps independent detectors' NumPy/BLAS work.  ``save``/``restore``
 must not race an active ``drain`` of the same router.
 """
@@ -47,7 +52,7 @@ from collections import deque
 
 import numpy as np
 
-from ..core import batched_session_scores
+from ..core import InferencePrograms, batched_session_scores, drain_group_key
 from ..stream import StreamScorer
 
 __all__ = ["StreamRouter", "QueueFullError", "DrainError", "score_shard_group"]
@@ -94,8 +99,8 @@ def reset_scorer_state(scorer, state):
     return scorer.load_state_dict(state)
 
 
-def score_shard_group(shards, items, batch_size):
-    """Score one same-detector shard group: ``items = [(stream_id, rows)]``.
+def score_shard_group(shards, items, batch_size, programs=None):
+    """Score one shard group: ``items = [(stream_id, rows)]``.
 
     The worker unit of every drain backend — the serial path runs it on the
     calling thread, the threaded pool on worker threads, and the process
@@ -118,6 +123,12 @@ def score_shard_group(shards, items, batch_size):
     bit-identically for the healthy ones (stable kernels make each
     position's arithmetic independent of the stacked batch).
 
+    ``programs`` (an :class:`repro.core.InferencePrograms`, or None for
+    eager) is handed to :func:`repro.core.batched_session_scores`; groups
+    whose shards hold *distinct same-spec detectors* then replay one
+    stacked compiled forward instead of per-detector eager forwards —
+    bit-identically.
+
     Returns ``(results, failures)`` where failures map stream ids to
     ``(exception, rows)`` so the caller can re-queue.
     """
@@ -129,8 +140,10 @@ def score_shard_group(shards, items, batch_size):
         # (Ingest failures need no rollback — _ingest_chunk validates
         # before it mutates.)
         snapshot = scorer.state_dict()
+        chunk = (rows if isinstance(rows, np.ndarray) and rows.ndim == 2
+                 else np.stack(rows))
         try:
-            n, needs_scores = scorer._ingest_chunk(np.stack(rows))
+            n, needs_scores = scorer._ingest_chunk(chunk)
         except Exception as exc:  # noqa: BLE001 - isolate faulty shards
             failures[stream_id] = (exc, rows)
             continue
@@ -151,7 +164,8 @@ def score_shard_group(shards, items, batch_size):
         counts = [n for __, __s, n, __snap in deferred]
         try:
             tails = batched_session_scores(
-                sessions, batch_size=batch_size, tail=counts
+                sessions, batch_size=batch_size, tail=counts,
+                programs=programs,
             )
         except Exception:  # noqa: BLE001 - a faulty detector in the stack
             rows_by_stream = dict(items)
@@ -187,7 +201,7 @@ class StreamRouter:
         make room and counts it against its stream's ``dropped`` stat.
     batch_size: maximum shards stacked into one grouped forward per drain.
     drain_backend: ``'serial'`` (default — score the burst on the calling
-        thread), ``'threaded'`` (score same-detector shard groups
+        thread), ``'threaded'`` (score same-architecture shard groups
         concurrently on a worker *thread* pool — overlaps NumPy/BLAS work
         but stays GIL-bound for the Python glue), or ``'process'`` (score
         the groups on a pool of persistent worker **processes** — true
@@ -215,6 +229,7 @@ class StreamRouter:
         "_shards": "_lock",
         "_pool": "_lock",
         "_procs": "_lock",
+        "_prog_counters": "_lock",
     }
 
     def __init__(self, detector=None, *, window=256, min_points=2,
@@ -267,6 +282,13 @@ class StreamRouter:
         self._drain_lock = threading.Lock()
         self._pool = None  # lazily-built worker pool (threaded backend)
         self._procs = None  # lazily-built process pool (process backend)
+        # Compiled-inference program cache shared by every shard of this
+        # router (internally locked; not in _GUARDED_BY).  _prog_counters
+        # holds the persistent totals stats()/save absorb drain deltas
+        # into — on the process backend the workers hold their own caches
+        # and ship deltas back with each payload.
+        self._programs = InferencePrograms()
+        self._prog_counters = {"hits": 0, "misses": 0, "invalidations": 0}
 
     # ------------------------------------------------------------------ #
     # stream management
@@ -296,6 +318,7 @@ class StreamRouter:
                 window=self.window if window is None else window,
                 min_points=self.min_points if min_points is None else min_points,
                 mode=self.mode if mode is None else mode,
+                programs=self._programs,
             )
             self._shards[stream_id] = scorer
             self._submitted.setdefault(stream_id, 0)
@@ -402,7 +425,9 @@ class StreamRouter:
         cut under the router lock — worker threads must never walk
         ``self._shards`` while producers register new streams.
         """
-        return score_shard_group(shards, items, self.batch_size)
+        return score_shard_group(
+            shards, items, self.batch_size, programs=self._programs
+        )
 
     def _drain_pool(self):
         """The threaded backend's worker pool, built on first use."""
@@ -485,7 +510,7 @@ class StreamRouter:
         Concurrency: drains are serialised against each other (a second
         caller blocks until the first finishes), producers may keep
         submitting throughout, and with ``drain_backend='threaded'`` the
-        burst's same-detector shard groups score concurrently on the
+        burst's same-architecture shard groups score concurrently on the
         worker pool.
 
         A shard that fails to ingest (e.g. an unfitted detector) never
@@ -513,12 +538,15 @@ class StreamRouter:
                 # (drains are serialised, submit never runs a scorer).
                 shards = {stream_id: self._shards[stream_id]
                           for stream_id in chunks}
-            # Partition the burst into same-detector shard groups — the
-            # unit that shares grouped forwards, hence the unit of
-            # backend parallelism (groups share no detector state).
+            # Partition the burst into same-architecture shard groups —
+            # the unit that shares grouped forwards, hence the unit of
+            # backend parallelism.  Keyed by architecture fingerprint, so
+            # distinct same-spec detectors (one per stream) drain through
+            # one stacked forward; detectors the fingerprint declines
+            # (unfitted, baselines) fall back to identity keys.
             groups = {}
             for stream_id, rows in chunks.items():
-                key = id(shards[stream_id].detector)
+                key = drain_group_key(shards[stream_id].detector)
                 groups.setdefault(key, []).append((stream_id, rows))
             group_list = list(groups.values())
             if self.drain_backend == "process":
@@ -542,6 +570,7 @@ class StreamRouter:
                 for stream_id, scores in results.items():
                     self._scored[stream_id] += scores.shape[0]
                 self._drains += 1
+                self._absorb_program_counters_locked()
         # Streams appear in first-arrival order of the drain, exactly as
         # the serial implementation always returned them.
         results = {stream_id: results[stream_id]
@@ -602,6 +631,7 @@ class StreamRouter:
             return self._save_locked(directory)
 
     def _save_locked(self, directory):
+        self._absorb_program_counters_locked()
         detectors, by_id = [], {}
 
         def register(detector):
@@ -682,6 +712,7 @@ class StreamRouter:
             "queue": [[stream_id, row.tolist()]
                       for stream_id, row in self._queue],
             "drains": self._drains,
+            "program_cache": dict(self._prog_counters),
         }
         np.savez(os.path.join(directory, _STATE), **arrays)
         path = os.path.join(directory, _MANIFEST)
@@ -806,10 +837,32 @@ class StreamRouter:
             # by submit() before the save.
             router._queue.append((stream_id, np.asarray(row, dtype=np.float64)))
         router._drains = manifest["drains"]
+        # Program-cache counters persist as observability totals (the
+        # compiled programs themselves are process-local and recompile on
+        # first drain — a miss, counted on top of the restored totals).
+        saved_counters = manifest.get("program_cache")
+        if saved_counters:
+            router._prog_counters.update(saved_counters)
         return router
 
     # ------------------------------------------------------------------ #
     # observability
+    def _absorb_program_counters_locked(self):
+        """Fold pending compiled-path cache deltas into the persistent
+        totals; caller must hold ``self._lock``.
+
+        Two delta sources: the in-process :class:`InferencePrograms` shared
+        by the serial/threaded backends, and — when the process backend has
+        ever run — the per-worker caches, whose deltas the pool collected
+        from drain payloads.
+        """
+        deltas = [self._programs.take_counters()]
+        if self._procs is not None:
+            deltas.append(self._procs.take_program_counters())
+        for delta in deltas:
+            for key, value in delta.items():
+                self._prog_counters[key] += value
+
     def _stream_stats_locked(self, stream_id):
         """One stream's counters; caller must hold ``self._lock``."""
         scorer = self._shards[stream_id]
@@ -847,6 +900,7 @@ class StreamRouter:
         rows, and no counter can tear against a concurrent drain.
         """
         with self._lock:
+            self._absorb_program_counters_locked()
             return {
                 "streams": len(self._shards),
                 "queue_depth": len(self._queue),
@@ -855,6 +909,11 @@ class StreamRouter:
                 "submitted": sum(self._submitted.values()),
                 "scored": sum(self._scored.values()),
                 "dropped": sum(self._dropped.values()),
+                # Compiled-inference program cache: hits/misses are tape
+                # and stacked-program lookups, invalidations are weight
+                # hot-swaps detected at replay time.  Aggregated across
+                # backends (worker processes ship their deltas home).
+                "program_cache": dict(self._prog_counters),
                 "per_stream": {
                     stream_id: self._stream_stats_locked(stream_id)
                     for stream_id in self._shards

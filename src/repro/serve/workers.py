@@ -135,13 +135,18 @@ class _ArenaReader:
             self._file.fileno(), int(size), access=mmap.ACCESS_READ
         )
 
-    def fetch(self, desc):
+    def fetch(self, desc, copy=True):
         arr = np.frombuffer(
             self._map, dtype=np.dtype(desc["d"]), count=desc["n"],
             offset=desc["o"],
         ).reshape(desc["s"])
-        # Copy out: the parent reuses arena space on the next drain, and
-        # scorer state must outlive this request.
+        if not copy:
+            # Zero-copy read-only view for data consumed entirely within
+            # this request (pending rows feed the stacked batch buffer and
+            # the scalers copy on ingest) — the parent reuses the arena
+            # space on the next drain, so nothing may retain this view.
+            return arr
+        # Copy out: scorer state must outlive this request.
         return arr.copy()
 
 
@@ -189,20 +194,25 @@ def _worker_main(conn, arena_path, arena_size, store_dir):
     drift (a cached scorer is state-equivalent to a freshly built one).
     """
     from ..core.persistence import WeightStore
+    from ..core.scoring import InferencePrograms
     from ..stream import StreamScorer
     from .router import reset_scorer_state, score_shard_group
 
     store = WeightStore(store_dir)
     reader = None
     detectors, scorers = {}, {}
+    # Per-worker compiled-program cache — workers are persistent, so tapes
+    # and stacked programs recorded on one request replay on the next.
+    # Cache-event deltas ship home with every payload.
+    programs = InferencePrograms()
 
-    def fetch(desc):
+    def fetch(desc, copy=True):
         nonlocal reader
         if isinstance(desc, np.ndarray):
             return desc
         if reader is None:
             reader = _ArenaReader(arena_path, arena_size)
-        return reader.fetch(desc)
+        return reader.fetch(desc, copy=copy)
 
     while True:
         try:
@@ -234,12 +244,16 @@ def _worker_main(conn, arena_path, arena_size, store_dir):
                     scorer = StreamScorer(
                         detector, window=config["window"],
                         min_points=config["min_points"], mode=config["mode"],
+                        programs=programs,
                     )
                     scorers[shard_key] = scorer
                 reset_scorer_state(
                     scorer, _unpack_state(entry["state"], fetch)
                 )
-                rows = fetch(entry["rows"])
+                # Zero-copy: pending rows feed the stacked batch buffer
+                # directly from the arena mapping (consumed within this
+                # request; the scalers copy on ingest).
+                rows = fetch(entry["rows"], copy=False)
             except Exception as exc:  # noqa: BLE001 - isolate per stream
                 failures[stream_id] = exc
                 continue
@@ -248,7 +262,7 @@ def _worker_main(conn, arena_path, arena_size, store_dir):
         results, states = {}, {}
         if items:
             results, group_failures = score_shard_group(
-                shards, items, request["batch_size"]
+                shards, items, request["batch_size"], programs=programs
             )
             failures.update(
                 {sid: exc for sid, (exc, __) in group_failures.items()}
@@ -261,6 +275,7 @@ def _worker_main(conn, arena_path, arena_size, store_dir):
                 "failures": {sid: _picklable(exc)
                              for sid, exc in failures.items()},
                 "states": states,
+                "program_cache": programs.take_counters(),
             }))
         except (OSError, BrokenPipeError, ValueError):
             break
@@ -274,7 +289,7 @@ class _Worker:
 
 
 class ProcessDrainPool:
-    """Persistent worker processes that score same-detector shard groups.
+    """Persistent worker processes that score same-architecture shard groups.
 
     Built lazily by :class:`repro.serve.StreamRouter` on the first
     ``drain_backend='process'`` drain.  :meth:`score_groups` is the whole
@@ -292,6 +307,7 @@ class ProcessDrainPool:
         "_closed": "_lock",
         "_store_refs": "_lock",
         "_pickle_tokens": "_lock",
+        "_prog_delta": "_lock",
     }
 
     def __init__(self, workers, *, arena_bytes=_DEFAULT_ARENA_BYTES,
@@ -314,6 +330,9 @@ class ProcessDrainPool:
         self._lock = threading.Lock()
         self._store_refs = {}  # id(detector) -> weight-store ref
         self._pickle_tokens = {}  # id(detector) -> token
+        # Program-cache deltas collected from worker payloads, awaiting
+        # pickup by the router (take_program_counters).
+        self._prog_delta = {"hits": 0, "misses": 0, "invalidations": 0}
         self._closed = False
         self._workers = [self._spawn() for __ in range(max(int(workers), 1))]
 
@@ -504,6 +523,8 @@ class ProcessDrainPool:
                         continue
                 failures = dict(payload["failures"])
                 failures.update(extra[index])
+                for key, value in payload.get("program_cache", {}).items():
+                    self._prog_delta[key] += value
                 outputs[index] = (
                     payload["results"], failures, payload["states"]
                 )
@@ -512,6 +533,19 @@ class ProcessDrainPool:
                 self._retire(worker)
                 workers[windex] = self._spawn()
         return outputs
+
+    def take_program_counters(self):
+        """Collected per-worker compiled-program cache deltas; resets them.
+
+        Workers attach their :class:`repro.core.InferencePrograms` deltas
+        to every drain payload; the router calls this after a drain (and in
+        ``stats()``/``save()``) to fold them into its persistent totals.
+        """
+        with self._lock:
+            out = dict(self._prog_delta)
+            for key in self._prog_delta:
+                self._prog_delta[key] = 0
+            return out
 
     def close(self):
         """Stop the workers and remove the spool; idempotent.

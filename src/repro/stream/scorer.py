@@ -55,13 +55,18 @@ class StreamScorer:
         ``'auto'`` picks ``score_new`` when the detector defines it, the
         refit protocol for known transductive-only detectors, and ``score``
         otherwise.
+    programs: optional :class:`repro.core.InferencePrograms` compiled
+        score-forward cache, shared across a router's shards.  ``None``
+        keeps every forward eager; scores are bit-identical either way.
     """
 
-    def __init__(self, detector, window=256, min_points=2, mode="auto"):
+    def __init__(self, detector, window=256, min_points=2, mode="auto",
+                 programs=None):
         from ..api import as_detector
 
         detector = as_detector(detector)
         self.detector = detector
+        self.programs = programs
         self.window = int(window)
         self.min_points = max(int(min_points), 2)
         if self.window < 2:
@@ -89,7 +94,9 @@ class StreamScorer:
         if self.mode == "score_new":
             from ..core.scoring import ScoringSession
 
-            self._session = ScoringSession(self.detector, window=self.window)
+            self._session = ScoringSession(
+                self.detector, window=self.window, programs=self.programs
+            )
         else:
             self._ring = RingBuffer(self.window, dims)
 

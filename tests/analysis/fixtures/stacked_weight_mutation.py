@@ -1,0 +1,45 @@
+"""Fixture for the stacked-weight-mutation rule; linted, never imported."""
+
+import numpy as np
+
+
+class StackedProgram:
+    """Declares its stacked buffers; may mutate them in its own methods."""
+
+    _STACKED_BUFFERS = ("weights", "biases")
+
+    def __init__(self, members):
+        self.weights = [np.stack([m.w for m in members])]
+        self.biases = [np.stack([m.b for m in members])]
+
+    def refresh(self, members):
+        # Inside the declaring class: sanctioned.
+        for j, member in enumerate(members):
+            self.weights[0][j] = member.w
+            self.biases[0][j] += 0.0
+
+
+def hot_swap_badly(program, member_index, new_weights):
+    program.weights[0][member_index] = new_weights  # FIRES
+    program.biases[0][member_index] *= 0.0  # FIRES
+
+
+def rebind_whole_buffer(program, stacked):
+    program.weights = stacked  # FIRES
+
+
+def unrelated_attribute(model, new_weights):
+    # `weights` on a class with no _STACKED_BUFFERS declaration in this
+    # module would still match by name — but `replays` never appears in
+    # any declaration, so writes to it stay quiet.
+    model.replays = 0
+    model.replays += 1
+
+
+def read_only_access(program):
+    # Reads are fine; only mutation desynchronises the replay.
+    return program.weights[0].sum() + program.biases[0].sum()
+
+
+def waved_through(program):
+    program.weights = []  # repro: lint-ok[stacked-weight-mutation] fixture: exercising suppression

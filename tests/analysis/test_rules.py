@@ -19,6 +19,7 @@ CASES = [
     ("einsum-order", "nn/einsum_order.py"),
     ("tape-poison", "tape_poison.py"),
     ("tape-out-alloc", "tape_out_alloc.py"),
+    ("stacked-weight-mutation", "stacked_weight_mutation.py"),
     ("lock-guarded", "lock_guarded.py"),
     ("lock-map", "lock_map.py"),
     ("resource-close", "resource_close.py"),
